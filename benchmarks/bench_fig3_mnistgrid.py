@@ -1,0 +1,138 @@
+"""Fig 3 (right) — MNISTGrid training: TDP query vs deep learning (§5.5).
+
+Trains three approaches on the same grids with the same step budget and
+reports test count-MSE over training:
+  * TDP neurosymbolic query (CNN parsers + soft group-by/count)
+  * CNN-Small — monolithic ~850K-parameter regressor
+  * ResNet — the paper's ResNet-18 role, run as ResNet-8 by default
+    (numpy/2-core budget; set REPRO_BENCH_SCALE to grow; full ResNet18 is
+    available and unit-tested)
+
+Paper shape: the TDP query converges much faster and to a far lower error
+than both monolithic regressors.
+
+Scale-down (recorded in EXPERIMENTS.md): the paper uses 5,000 train /
+1,000 test grids and 40,000 single-grid iterations averaged over 5 runs;
+here grids and steps shrink ~20x and training batches 8 grids per step via
+the batched trainable query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps import mnistgrid
+from repro.baselines.regression import make_grid_regressor
+from repro.bench.harness import print_table, report_paper_vs_measured, scaled
+from repro.core.session import Session
+from repro.datasets.mnist_grid import make_grids
+from repro.ml.train import evaluate_mse, train_regressor
+
+STEPS = scaled(900)
+EVAL_EVERY = max(STEPS // 6, 1)
+BATCH = 8
+
+
+@pytest.fixture(scope="module")
+def grid_data():
+    train_set = make_grids(scaled(256), np.random.default_rng(0))
+    test_set = make_grids(scaled(48), np.random.default_rng(1))
+    return train_set, test_set
+
+
+@pytest.fixture(scope="module")
+def tdp_curve(grid_data):
+    train_set, test_set = grid_data
+    session = Session()
+    app = mnistgrid.build_batched_app(session, batch_size=BATCH)
+    curve = mnistgrid.train_batched(
+        app, train_set, steps=STEPS, batch_size=BATCH, lr=1e-3,
+        eval_every=EVAL_EVERY, eval_set=test_set,
+    )
+    return curve, app
+
+
+def _baseline_curve(kind, grid_data, lr=1e-3, seed=0):
+    train_set, test_set = grid_data
+    model = make_grid_regressor(kind)
+    curve = train_regressor(
+        model, train_set.grids, train_set.counts, iterations=STEPS,
+        batch_size=BATCH, lr=lr, seed=seed, eval_every=EVAL_EVERY,
+        eval_fn=lambda m: evaluate_mse(m, test_set.grids, test_set.counts),
+    )
+    return curve
+
+
+@pytest.fixture(scope="module")
+def cnn_small_curve(grid_data):
+    return _baseline_curve("cnn_small", grid_data)
+
+
+@pytest.fixture(scope="module")
+def resnet_curve(grid_data):
+    return _baseline_curve("resnet8", grid_data)
+
+
+class TestFig3Right:
+    def test_fig3_right_curves(self, benchmark, tdp_curve, cnn_small_curve, resnet_curve):
+        curve, _ = tdp_curve
+        rows = []
+        for (it, tdp_mse), (_, cnn_mse), (_, res_mse) in zip(
+                curve, cnn_small_curve, resnet_curve):
+            rows.append([it, tdp_mse, cnn_mse, res_mse])
+        print_table(
+            "Fig 3 (right): MNISTGrid test count-MSE vs training step",
+            ["step", "TDP neurosymbolic query", "CNN-Small", "ResNet"],
+            rows,
+        )
+        final_tdp = curve[-1][1]
+        final_cnn = cnn_small_curve[-1][1]
+        final_res = resnet_curve[-1][1]
+        report_paper_vs_measured("Fig 3 (right) MNISTGrid training", [
+            {"metric": "TDP final error lowest",
+             "paper": "TDP converges close-to-zero; DL asymptotes higher",
+             "measured": f"tdp={final_tdp:.3f} cnn={final_cnn:.3f} "
+                         f"resnet={final_res:.3f}",
+             "holds": final_tdp < final_cnn and final_tdp < final_res},
+            {"metric": "TDP learns (error falls)",
+             "paper": "converges very quickly",
+             "measured": f"{curve[0][1]:.3f} -> {final_tdp:.3f}",
+             "holds": final_tdp < curve[0][1]},
+        ])
+        assert final_tdp < final_cnn
+        assert final_tdp < final_res
+        assert final_tdp < curve[0][1]
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_tdp_training_step(self, benchmark, grid_data):
+        train_set, _ = grid_data
+        session = Session()
+        app = mnistgrid.build_batched_app(session, batch_size=BATCH)
+
+        def step():
+            mnistgrid.train_batched(app, train_set, steps=1, batch_size=BATCH,
+                                    lr=1e-3)
+
+        benchmark.pedantic(step, rounds=3, iterations=1, warmup_rounds=1)
+
+
+class TestExp2Generalization:
+    """§5.5 Experiment 2: extract the trained digit parser, classify digits.
+
+    The paper reports 98.15% MNIST accuracy without instance-level digit
+    supervision; at our reduced training scale the parser must still land
+    far above the 10% chance level, rising with REPRO_BENCH_SCALE.
+    """
+
+    def test_exp2_digit_parser_generalizes(self, benchmark, tdp_curve):
+        from repro.datasets.digits import make_digits
+        _, app = tdp_curve
+        digits = make_digits(scaled(400), np.random.default_rng(2))
+        accuracy = mnistgrid.digit_accuracy(app, digits.images, digits.digits)
+        report_paper_vs_measured("Exp 2: extracted digit parser", [
+            {"metric": "digit classification accuracy",
+             "paper": "98.15% (40k iterations, 5k grids)",
+             "measured": f"{accuracy:.1%} ({STEPS} steps, scaled data)",
+             "holds": accuracy > 0.30},
+        ])
+        assert accuracy > 0.30
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures: datasets and pretrained models, built once."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.attachments import make_attachments
+from repro.datasets.documents import make_documents
+from repro.ml.models.clip import load_pretrained_clip
+
+
+@pytest.fixture(scope="session")
+def fig2_dataset():
+    """The Fig 2 dataset: 100 photographs / 50 receipts / 50 logos."""
+    return make_attachments(100, 50, 50, rng=np.random.default_rng(0))
+
+
+@pytest.fixture(scope="session")
+def clip_model(fig2_dataset):
+    """TinyCLIP trained on the Fig 2 dataset (cached across runs)."""
+    return load_pretrained_clip(fig2_dataset.images, fig2_dataset.captions)
+
+
+@pytest.fixture(scope="session")
+def workload_images():
+    """1,000 200x300 images for the Fig 2 (right) timing workload."""
+    return make_attachments(500, 250, 250, rng=np.random.default_rng(11))
+
+
+@pytest.fixture(scope="session")
+def documents_100():
+    """100 document images for the Fig 3 (left) OCR comparison."""
+    return make_documents(n=100, rows_per_doc=10)

@@ -1,0 +1,16 @@
+"""Setup shim for offline editable installs (no wheel/build isolation needed)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of 'The Tensor Data Platform: Towards an AI-centric "
+        "Database System' (CIDR 2023)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+)

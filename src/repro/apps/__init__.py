@@ -1,0 +1,5 @@
+"""End-to-end applications from the paper's use-case section (§5)."""
+
+from repro.apps import llp, mnistgrid, multimodal, ocr
+
+__all__ = ["llp", "mnistgrid", "multimodal", "ocr"]

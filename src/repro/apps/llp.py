@@ -1,0 +1,77 @@
+"""Learning from Label Proportions via trainable SQL (paper §5.3, §5.4).
+
+The classifier TVF + ``GROUP BY Income`` query of Listing 9, with bag-wise
+training against (possibly Laplace-noised) count labels.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.compiled_query import CompiledQuery
+from repro.core.config import constants
+from repro.core.session import Session
+from repro.datasets.bags import Bag
+from repro.ml.models.linear import LinearClassifier
+from repro.storage.encodings import PEEncoding
+from repro.tcr import optim
+from repro.tcr.tensor import Tensor
+
+BAG_TABLE = "Adult_Income_Bag"
+QUERY = (
+    "SELECT Income, COUNT(*) FROM classify_incomes(Adult_Income_Bag) "
+    "GROUP BY Income"
+)
+
+
+@dataclasses.dataclass
+class LlpApp:
+    session: Session
+    query: CompiledQuery
+    model: LinearClassifier
+
+    def predict_counts(self, bag_features: np.ndarray) -> Tensor:
+        self.session.sql.register_tensor(Tensor(bag_features), BAG_TABLE)
+        return self.query.run()
+
+
+def build_app(session: Session, num_features: int,
+              model: Optional[LinearClassifier] = None) -> LlpApp:
+    """Register ``classify_incomes`` (Listing 9) and compile the query."""
+    model = model or LinearClassifier(num_features, num_classes=2)
+
+    @session.udf("Income float", name="classify_incomes", modules=[model])
+    def classify_incomes(x: Tensor) -> Tensor:
+        return PEEncoding.encode(model(x), domain=[0, 1])
+
+    # Register a placeholder bag so the binder can resolve the table schema.
+    session.sql.register_tensor(
+        Tensor(np.zeros((1, num_features), dtype=np.float32)), BAG_TABLE
+    )
+    query = session.spark.query(QUERY, extra_config={constants.TRAINABLE: True})
+    return LlpApp(session, query, model)
+
+
+def train_on_bags(app: LlpApp, bags: List[Bag], epochs: int = 30,
+                  lr: float = 0.05, seed: int = 0) -> List[float]:
+    """Bag-wise gradient descent on the squared count error."""
+    rng = np.random.default_rng(seed)
+    optimizer = optim.Adam(app.query.parameters(), lr=lr)
+    history: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(len(bags))
+        epoch_loss = 0.0
+        for index in order:
+            bag = bags[index]
+            optimizer.zero_grad()
+            predicted = app.predict_counts(bag.features)
+            target = Tensor(bag.counts.astype(np.float32))
+            loss = ((predicted - target) ** 2).mean()
+            loss.backward()
+            optimizer.step()
+            epoch_loss += loss.item()
+        history.append(epoch_loss / max(len(bags), 1))
+    return history

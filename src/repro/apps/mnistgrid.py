@@ -1,0 +1,192 @@
+"""MNISTGrid trainable-query application (paper §3, §4, §5.5).
+
+Builds the ``parse_mnist_grid`` TVF of Listing 4 (einops tiling + two CNN
+parsers + PE encoding), the trainable query of Listing 6, and the training
+loop of Listing 5.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.compiled_query import CompiledQuery
+from repro.core.session import Session
+from repro.datasets.digits import SIZE_NAMES
+from repro.datasets.mnist_grid import MnistGridDataset, NUM_GROUPS, make_grids
+from repro.ml.models.cnn import CNN
+from repro.storage.encodings import PEEncoding
+from repro.tcr import optim
+from repro.tcr.autograd import no_grad
+from repro.tcr.einops import rearrange
+from repro.tcr.tensor import Tensor
+
+GRID_TABLE = "MNIST_Grid"
+QUERY = (
+    "SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) "
+    "GROUP BY Digit, Size"
+)
+BATCHED_QUERY = (
+    "SELECT GridId, Digit, Size, COUNT(*) FROM parse_mnist_batch(MNIST_Grid) "
+    "GROUP BY GridId, Digit, Size"
+)
+
+
+@dataclasses.dataclass
+class MnistGridApp:
+    session: Session
+    query: CompiledQuery
+    digit_parser: CNN
+    size_parser: CNN
+
+    def register_grid(self, grid: np.ndarray) -> None:
+        """Register one (1, 84, 84) grid as the MNIST_Grid table."""
+        self.session.sql.register_tensor(Tensor(grid), GRID_TABLE)
+
+    def predict_counts(self, grid: np.ndarray) -> Tensor:
+        self.register_grid(grid)
+        return self.query.run()
+
+
+def build_app(session: Session, trainable: bool = True,
+              digit_parser: Optional[CNN] = None,
+              size_parser: Optional[CNN] = None) -> MnistGridApp:
+    """Register the TVF (Listing 4) and compile the query (Listing 6)."""
+    digit_parser = digit_parser or CNN(num_classes=10)
+    size_parser = size_parser or CNN(num_classes=2)
+
+    @session.udf("Digit float, Size float", name="parse_mnist_grid",
+                 modules=[digit_parser, size_parser])
+    def parse_mnist_grid(mnist_grid: Tensor):
+        # Break up the grid into a batch of 9 tiles/images (Listing 4).
+        tiles = rearrange(
+            mnist_grid,
+            "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", h1=3, w1=3,
+        )
+        return (
+            PEEncoding.encode(digit_parser(tiles)),
+            PEEncoding.encode(size_parser(tiles), domain=list(SIZE_NAMES)),
+        )
+
+    # The paper registers data (Listing 1) before compiling (Listing 2); the
+    # binder needs the table's schema, so start from an empty placeholder grid.
+    session.sql.register_tensor(
+        Tensor(np.zeros((1, 84, 84), dtype=np.float32)), GRID_TABLE
+    )
+    import repro.core.config as config_mod
+    extra = {config_mod.constants.TRAINABLE: True} if trainable else None
+    query = session.spark.query(QUERY, extra_config=extra)
+    return MnistGridApp(session, query, digit_parser, size_parser)
+
+
+def build_batched_app(session: Session, batch_size: int = 8,
+                      digit_parser: Optional[CNN] = None,
+                      size_parser: Optional[CNN] = None) -> MnistGridApp:
+    """Batched variant: one step trains on ``batch_size`` grids at once.
+
+    The TVF tiles a (B, 84, 84) batch into 9B rows and emits an extra
+    ``GridId`` column; grouping by (GridId, Digit, Size) yields per-grid soft
+    counts in one differentiable query. The paper trains one grid per
+    iteration (Listing 5) for 40,000 iterations; batching is our scale-down
+    lever for the CPU-only benchmark (recorded in EXPERIMENTS.md).
+    """
+    digit_parser = digit_parser or CNN(num_classes=10)
+    size_parser = size_parser or CNN(num_classes=2)
+
+    @session.udf("GridId int, Digit float, Size float", name="parse_mnist_batch",
+                 modules=[digit_parser, size_parser])
+    def parse_mnist_batch(grids: Tensor):
+        batch = grids.shape[0]
+        tiles = rearrange(
+            grids, "b (h1 h2) (w1 w2) -> (b h1 w1) 1 h2 w2", h1=3, w1=3,
+        )
+        grid_ids = Tensor(np.repeat(np.arange(batch, dtype=np.int64), 9))
+        return (
+            grid_ids,
+            PEEncoding.encode(digit_parser(tiles)),
+            PEEncoding.encode(size_parser(tiles), domain=list(SIZE_NAMES)),
+        )
+
+    session.sql.register_tensor(
+        Tensor(np.zeros((batch_size, 84, 84), dtype=np.float32)), GRID_TABLE
+    )
+    import repro.core.config as config_mod
+    query = session.spark.query(
+        BATCHED_QUERY, extra_config={config_mod.constants.TRAINABLE: True}
+    )
+    return MnistGridApp(session, query, digit_parser, size_parser)
+
+
+def train_batched(app: MnistGridApp, dataset: MnistGridDataset, steps: int,
+                  batch_size: int = 8, lr: float = 1e-3,
+                  eval_every: Optional[int] = None,
+                  eval_set: Optional[MnistGridDataset] = None,
+                  eval_app: Optional[MnistGridApp] = None,
+                  seed: int = 0) -> List[Tuple[int, float]]:
+    """Mini-batch training through the batched trainable query."""
+    rng = np.random.default_rng(seed)
+    optimizer = optim.Adam(app.query.parameters(), lr=lr)
+    curve: List[Tuple[int, float]] = []
+    n = len(dataset)
+    for step in range(steps):
+        optimizer.zero_grad()
+        picks = rng.integers(0, n, size=batch_size)
+        batch = dataset.grids[picks][:, 0]                 # (B, 84, 84)
+        app.session.sql.register_tensor(Tensor(batch), GRID_TABLE)
+        predicted = app.query.run()                        # (B*20,)
+        target = Tensor(dataset.counts[picks].reshape(-1))
+        loss = ((predicted - target) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+        if eval_every and eval_set is not None and (step + 1) % eval_every == 0:
+            scorer = eval_app or app
+            curve.append((step + 1, evaluate_mse(scorer, eval_set)))
+    return curve
+
+
+def train(app: MnistGridApp, dataset: MnistGridDataset, iterations: int,
+          lr: float = 0.01, eval_every: Optional[int] = None,
+          eval_set: Optional[MnistGridDataset] = None,
+          seed: int = 0) -> List[Tuple[int, float]]:
+    """The paper's Listing 5 training loop (one grid per iteration).
+
+    Returns [(iteration, test MSE)] when an eval set is provided.
+    """
+    rng = np.random.default_rng(seed)
+    optimizer = optim.Adam(app.query.parameters(), lr=lr)
+    curve: List[Tuple[int, float]] = []
+    n = len(dataset)
+    for i in range(iterations):
+        optimizer.zero_grad()
+        pick = int(rng.integers(0, n))
+        predicted_counts = app.predict_counts(dataset.grids[pick])
+        target = Tensor(dataset.counts[pick])
+        loss = ((predicted_counts - target) ** 2).mean()
+        loss.backward()
+        optimizer.step()
+        if eval_every and eval_set is not None and (i + 1) % eval_every == 0:
+            curve.append((i + 1, evaluate_mse(app, eval_set)))
+    return curve
+
+
+def evaluate_mse(app: MnistGridApp, dataset: MnistGridDataset,
+                 max_grids: Optional[int] = None) -> float:
+    """Mean squared count error over a dataset (soft operators, no grad)."""
+    total, count = 0.0, 0
+    limit = min(len(dataset), max_grids) if max_grids else len(dataset)
+    with no_grad():
+        for i in range(limit):
+            predicted = app.predict_counts(dataset.grids[i]).data
+            diff = predicted - dataset.counts[i]
+            total += float((diff ** 2).sum())
+            count += diff.size
+    return total / max(count, 1)
+
+
+def digit_accuracy(app: MnistGridApp, images: np.ndarray, digits: np.ndarray) -> float:
+    """Experiment 2 (§5.5): the extracted digit_parser on held-out digits."""
+    with no_grad():
+        logits = app.digit_parser(Tensor(images)).data
+    return float((logits.argmax(axis=1) == digits).mean())

@@ -1,0 +1,89 @@
+"""Multimodal query application (paper §5.1, Fig 2).
+
+Registers the email-attachment table and the ``image_text_similarity`` UDF
+(Listing 7) on a session, and provides the Fig 2 query set plus the 30-query
+mixed workload used for the CPU/GPU timing comparison.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.session import Session
+from repro.datasets.attachments import (
+    AttachmentDataset,
+    PHOTO_SUBJECTS,
+    VENDORS,
+    make_attachments,
+)
+from repro.ml.models.clip import TinyCLIP, load_pretrained_clip
+from repro.tcr.tensor import Tensor
+
+ATTACHMENTS_TABLE = "Attachments"
+
+
+def setup_multimodal(session: Session, dataset: Optional[AttachmentDataset] = None,
+                     model: Optional[TinyCLIP] = None, device: str = "cpu",
+                     table_name: str = ATTACHMENTS_TABLE) -> TinyCLIP:
+    """Register the attachments table and the CLIP-backed similarity UDF."""
+    if dataset is None:
+        dataset = make_attachments(rng=np.random.default_rng(0))
+    if model is None:
+        model = load_pretrained_clip(dataset.images, dataset.captions)
+    session.sql.register_dict(
+        {"attachment_id": np.arange(len(dataset)), "images": dataset.images},
+        table_name, device=device,
+    )
+
+    @session.udf("float", name="image_text_similarity", modules=[model])
+    def image_text_similarity(query: str, images: Tensor) -> Tensor:
+        return model.similarity(query, images)
+
+    return model
+
+
+def fig2_queries() -> List[str]:
+    """The three example queries of Fig 2 (left)."""
+    return [
+        'SELECT COUNT(*) FROM Attachments '
+        'WHERE image_text_similarity("receipt", images) > 0.80',
+        'SELECT images FROM Attachments '
+        'WHERE image_text_similarity("dog", images) > 0.80',
+        'SELECT images, image_text_similarity("KFC Receipt", images) AS score '
+        'FROM Attachments ORDER BY score DESC LIMIT 2',
+    ]
+
+
+def mixed_workload(n: int = 30, seed: int = 3) -> List[str]:
+    """A mixed workload of filter / aggregate / top-k similarity queries.
+
+    Mirrors the paper's "workload of 30 queries containing a mix of queries
+    as shown in Fig. 2".
+    """
+    rng = np.random.default_rng(seed)
+    subjects = PHOTO_SUBJECTS + ["receipt", "logo"]
+    queries: List[str] = []
+    for i in range(n):
+        kind = i % 3
+        subject = subjects[int(rng.integers(0, len(subjects)))]
+        threshold = float(rng.uniform(0.75, 0.85))
+        if kind == 0:
+            queries.append(
+                f'SELECT COUNT(*) FROM Attachments '
+                f'WHERE image_text_similarity("{subject}", images) > {threshold:.2f}'
+            )
+        elif kind == 1:
+            queries.append(
+                f'SELECT images FROM Attachments '
+                f'WHERE image_text_similarity("{subject}", images) > {threshold:.2f}'
+            )
+        else:
+            vendor = VENDORS[int(rng.integers(0, len(VENDORS)))]
+            k = int(rng.integers(2, 6))
+            queries.append(
+                f'SELECT images, image_text_similarity("{vendor} Receipt", images) '
+                f'AS score FROM Attachments ORDER BY score DESC LIMIT {k}'
+            )
+    return queries

@@ -1,0 +1,79 @@
+"""SQL over OCRed documents (paper §5.2, Fig 3-left).
+
+Registers a Document table (image + timestamp metadata columns) and the
+``extract_table`` TVF whose body runs the table-detection + OCR pipeline.
+Also provides the bulk-conversion + MiniDuck baseline workflow the paper
+compares against.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.miniduck import MiniDuck
+from repro.core.session import Session
+from repro.datasets.documents import DocumentDataset, make_documents
+from repro.datasets.iris import FEATURES
+from repro.ml.models.ocr import TableExtractor
+from repro.storage.frame import DataFrame
+from repro.tcr.tensor import Tensor
+
+DOCUMENT_TABLE = "Document"
+
+PAPER_QUERY = (
+    'SELECT AVG(SepalLength), AVG(PetalLength) '
+    'FROM (SELECT extract_table(images) FROM Document '
+    'WHERE timestamp = "2022:08:10")'
+)
+
+
+def setup_ocr(session: Session, documents: Optional[DocumentDataset] = None,
+              device: str = "cpu", extractor: Optional[TableExtractor] = None
+              ) -> Tuple[DocumentDataset, TableExtractor]:
+    """Register the Document table and the ``extract_table`` TVF."""
+    if documents is None:
+        documents = make_documents(n=100)
+    pipeline = extractor or TableExtractor()
+    session.sql.register_dict(
+        {"images": documents.images, "timestamp": documents.timestamps},
+        DOCUMENT_TABLE, device=device,
+    )
+    schema = ", ".join(f"{name} float" for name in FEATURES)
+
+    @session.udf(schema, name="extract_table")
+    def extract_table(images: Tensor):
+        values = pipeline.extract_columns(images.detach().data)
+        return tuple(Tensor(values[:, j]) for j in range(values.shape[1]))
+
+    return documents, pipeline
+
+
+def bulk_convert_all(documents: DocumentDataset,
+                     extractor: Optional[TableExtractor] = None) -> DataFrame:
+    """The baseline's conversion step: OCR every document up front."""
+    pipeline = extractor or TableExtractor()
+    frames = []
+    stamps = []
+    for i in range(len(documents)):
+        values = pipeline.extract_columns(documents.images[i:i + 1])
+        frames.append(values)
+        stamps.extend([documents.timestamps[i]] * values.shape[0])
+    stacked = np.concatenate(frames, axis=0)
+    out = DataFrame({name: stacked[:, j] for j, name in enumerate(FEATURES)})
+    out["timestamp"] = np.asarray(stamps, dtype=object)
+    return out
+
+
+def load_into_miniduck(frame: DataFrame) -> MiniDuck:
+    """The baseline's load step: extracted rows into the embedded engine."""
+    duck = MiniDuck()
+    duck.register("documents", frame)
+    return duck
+
+
+MINIDUCK_QUERY = (
+    "SELECT AVG(SepalLength), AVG(PetalLength) FROM documents "
+    "WHERE timestamp = '2022:08:10'"
+)

@@ -1,0 +1,6 @@
+"""Baselines the paper compares TDP against."""
+
+from repro.baselines.miniduck import MiniDuck
+from repro.baselines.regression import make_grid_regressor, train_non_llp
+
+__all__ = ["MiniDuck", "make_grid_regressor", "train_non_llp"]

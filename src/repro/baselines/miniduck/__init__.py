@@ -1,0 +1,5 @@
+"""MiniDuck — the embedded analytical engine used as DuckDB's stand-in."""
+
+from repro.baselines.miniduck.engine import MiniDuck
+
+__all__ = ["MiniDuck"]

@@ -1,0 +1,41 @@
+"""Pure deep-learning baselines for the paper's comparisons.
+
+* :func:`train_non_llp` — the Non-LLP dashed line of Fig 3-middle: a linear
+  classifier trained with full instance-level labels.
+* :func:`make_grid_regressor` — the monolithic CNN-Small / ResNet regressors
+  of Fig 3-right that map a whole MNISTGrid image to the 20 grouped counts,
+  learning classification *and* the group-by/count logic end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Literal, Optional
+
+import numpy as np
+
+from repro.ml.models.cnn import CNNSmall
+from repro.ml.models.linear import LinearClassifier
+from repro.ml.models.resnet import ResNet8, ResNet18
+from repro.ml.train import train_classifier
+from repro.tcr.nn.module import Module
+
+
+def train_non_llp(features: np.ndarray, labels: np.ndarray,
+                  epochs: int = 30, lr: float = 1e-2, seed: int = 0
+                  ) -> LinearClassifier:
+    """Supervised baseline: same linear model, instance-level labels."""
+    model = LinearClassifier(features.shape[1], num_classes=2)
+    train_classifier(model, features, labels, epochs=epochs, lr=lr, seed=seed)
+    return model
+
+
+def make_grid_regressor(kind: Literal["cnn_small", "resnet8", "resnet18"],
+                        out_dim: int = 20) -> Module:
+    """Monolithic grid-to-counts regressor used in Fig 3-right."""
+    if kind == "cnn_small":
+        return CNNSmall(out_dim=out_dim)
+    if kind == "resnet8":
+        return ResNet8(num_outputs=out_dim)
+    if kind == "resnet18":
+        return ResNet18(num_outputs=out_dim)
+    raise ValueError(f"unknown regressor kind {kind!r}")

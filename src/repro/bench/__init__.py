@@ -1,0 +1,13 @@
+"""Benchmark support: timers, tables, workload scaling."""
+
+from repro.bench.harness import (
+    Timer,
+    bench_scale,
+    print_table,
+    report_paper_vs_measured,
+    scaled,
+    time_call,
+)
+
+__all__ = ["Timer", "bench_scale", "print_table", "report_paper_vs_measured",
+           "scaled", "time_call"]

@@ -1,0 +1,79 @@
+"""Benchmark harness: timers, result tables, paper-vs-measured reporting."""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, List, Optional, Sequence
+
+
+def bench_scale() -> float:
+    """Global effort multiplier for benchmark workloads.
+
+    ``REPRO_BENCH_SCALE=1`` runs the documented default sizes;
+    values > 1 scale dataset sizes / iteration counts toward the paper's
+    (set e.g. 4 on a beefier machine).
+    """
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    return max(int(round(value * bench_scale())), minimum)
+
+
+class Timer:
+    """Wall-clock stopwatch: ``with Timer() as t: ...; t.seconds``."""
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        self.seconds = 0.0
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds = time.perf_counter() - self.start
+
+
+def time_call(fn, *args, repeat: int = 1, **kwargs) -> float:
+    """Best-of-N wall time of fn(*args, **kwargs) in seconds."""
+    best = float("inf")
+    for _ in range(max(repeat, 1)):
+        start = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]],
+                floatfmt: str = "{:.4g}") -> str:
+    """Render an aligned ASCII table (also returned as a string)."""
+    rendered_rows = []
+    for row in rows:
+        rendered_rows.append([
+            floatfmt.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ])
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [f"\n== {title} =="]
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    text = "\n".join(lines)
+    print(text)
+    return text
+
+
+def report_paper_vs_measured(experiment: str, claims: List[Dict[str, object]]) -> str:
+    """Print the per-experiment claim table used by EXPERIMENTS.md.
+
+    Each claim dict: {"metric": ..., "paper": ..., "measured": ..., "holds": bool}
+    """
+    rows = [
+        [c["metric"], c["paper"], c["measured"], "yes" if c["holds"] else "NO"]
+        for c in claims
+    ]
+    return print_table(f"{experiment}: paper vs measured",
+                       ["metric", "paper", "measured", "shape holds"], rows)

@@ -1,0 +1,143 @@
+"""Compiled queries: executable operator trees that are also nn.Modules.
+
+Paper §2: "The output of query compilation is a PyTorch model and, as such,
+it can be: used in a training loop, executed on different hardware devices,
+further optimized ... profiled ...". Here the compiled query is a Module of
+our TCR, so ``parameters()``, ``train()/eval()`` and backprop all work on it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.core.config import QueryConfig
+from repro.core.operators.base import Operator, Relation
+from repro.storage.frame import DataFrame
+from repro.storage.table import Table
+from repro.tcr import ops
+from repro.tcr.autograd import no_grad
+from repro.tcr.nn.module import Module
+from repro.tcr.tensor import Tensor
+
+
+class ExecNode(Module):
+    """One operator plus its input subtrees."""
+
+    def __init__(self, op: Operator, children: List["ExecNode"]):
+        super().__init__()
+        self.op = op
+        for i, child in enumerate(children):
+            self.register_module(f"child{i}", child)
+        self._children_nodes = children
+
+    def forward(self) -> Relation:
+        inputs = [child() for child in self._children_nodes]
+        return self.op(*inputs)
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.op.describe()]
+        for child in self._children_nodes:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+class QueryResult:
+    """Materialised result of a non-trainable query."""
+
+    def __init__(self, table: Table):
+        self.table = table
+
+    def __len__(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.table.column_names
+
+    def column(self, name: str) -> np.ndarray:
+        return self.table.column(name).decode()
+
+    def to_frame(self) -> DataFrame:
+        return self.table.to_frame()
+
+    def scalar(self):
+        """The single value of a 1x1 result (e.g. a global COUNT)."""
+        if self.table.num_rows != 1 or self.table.num_columns != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {self.table.num_rows}x"
+                f"{self.table.num_columns}"
+            )
+        return self.table.columns[0].decode()[0]
+
+    def __repr__(self) -> str:
+        return repr(self.to_frame())
+
+
+class CompiledQuery(Module):
+    """The artifact returned by ``tdp.sql.spark.query`` (paper Listing 2)."""
+
+    def __init__(self, root: ExecNode, config: QueryConfig, device, sql_text: str,
+                 plan_text: str, output_schema, aggregate_outputs: List[int]):
+        super().__init__()
+        self.root = root
+        self.config = config
+        self.device = device
+        self.sql_text = sql_text
+        self.plan_text = plan_text
+        self.output_schema = output_schema
+        self.aggregate_outputs = aggregate_outputs
+        # Trainable queries start in training mode (soft operators active);
+        # everything else starts deployed/eval (exact operators).
+        self.train(config.trainable)
+
+    def forward(self) -> Relation:
+        return self.root()
+
+    # ------------------------------------------------------------------
+    # Execution API
+    # ------------------------------------------------------------------
+    def run(self, toPandas: bool = False):
+        """Execute the query.
+
+        Returns, in order of precedence:
+          * a DataFrame when ``toPandas=True`` (paper Listing 3);
+          * a differentiable Tensor for trainable queries in training mode
+            (paper Listing 5 does arithmetic directly on the result);
+          * a :class:`QueryResult` otherwise.
+        """
+        if self.training and self.config.trainable:
+            relation = self.forward()
+        else:
+            with no_grad():
+                relation = self.forward()
+        if toPandas:
+            return relation.table.to_frame()
+        if self.config.trainable and self.training:
+            return self._trainable_output(relation)
+        return QueryResult(relation.table)
+
+    def _trainable_output(self, relation: Relation) -> Tensor:
+        columns = relation.table.columns
+        if self.aggregate_outputs:
+            tensors = [columns[i].tensor for i in self.aggregate_outputs]
+        else:
+            tensors = [c.tensor for c in columns if c.tensor.dtype.kind == "f"]
+            if not tensors:
+                raise ExecutionError(
+                    "trainable query produced no differentiable output column"
+                )
+        if len(tensors) == 1:
+            return tensors[0]
+        return ops.stack(tensors, dim=1)
+
+    def explain(self) -> str:
+        """Logical plan (post-optimizer) and the physical operator tree."""
+        return f"== Optimized logical plan ==\n{self.plan_text}\n" \
+               f"== Physical operators ==\n{self.root.pretty()}"
+
+    def __repr__(self) -> str:
+        mode = "trainable" if self.config.trainable else "inference"
+        return f"CompiledQuery({self.sql_text!r}, mode={mode}, device={self.device})"

@@ -1,0 +1,179 @@
+"""Lower optimized logical plans to physical operator trees.
+
+This is the physical planning stage the paper describes in §2: "For each
+physical operator, we can have more than one [tensor] implementation, and at
+compilation time we use a mix of flags (e.g., Listing 6) and heuristics to
+pick which one to use." Flags arrive through :class:`QueryConfig`; the
+heuristics live in ``_pick_aggregate`` / ``_maybe_fuse_topk``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import PlanError
+from repro.core.compiled_query import CompiledQuery, ExecNode
+from repro.core.config import QueryConfig
+from repro.core.operators import (
+    DistinctExec,
+    FilterExec,
+    HashAggregateExec,
+    JoinExec,
+    LimitExec,
+    ProjectExec,
+    ScanExec,
+    SoftAggregateExec,
+    SoftFilterExec,
+    SortAggregateExec,
+    SortExec,
+    TVFExec,
+    TopKExec,
+)
+from repro.sql import logical
+from repro.storage import types as dt
+from repro.tcr.device import Device, as_device
+
+
+class Compiler:
+    def __init__(self, catalog, config: QueryConfig, device):
+        self.catalog = catalog
+        self.config = config
+        self.device = as_device(device)
+
+    def compile(self, plan: logical.LogicalPlan, sql_text: str) -> CompiledQuery:
+        root = self._lower(plan)
+        aggregate_outputs = _aggregate_output_slots(plan)
+        return CompiledQuery(
+            root=root,
+            config=self.config,
+            device=self.device,
+            sql_text=sql_text,
+            plan_text=plan.pretty(),
+            output_schema=plan.schema,
+            aggregate_outputs=aggregate_outputs,
+        )
+
+    # ------------------------------------------------------------------
+    # Lowering
+    # ------------------------------------------------------------------
+    def _lower(self, plan: logical.LogicalPlan) -> ExecNode:
+        if isinstance(plan, logical.Scan):
+            op = ScanExec(self.catalog, plan.table_name,
+                          [name for name, _ in plan.schema], self.device)
+            return ExecNode(op, [])
+
+        if isinstance(plan, logical.TVFScan):
+            child = self._lower(plan.input)
+            op = TVFExec(plan.udf, plan.arg_exprs, [name for name, _ in plan.schema])
+            return ExecNode(op, [child])
+
+        if isinstance(plan, logical.Filter):
+            child = self._lower(plan.input)
+            if self.config.trainable and self.config.soft_filter:
+                op = SoftFilterExec(plan.predicate, self.config.soft_temperature)
+                return ExecNode(op, [child])
+            # Split AND-conjuncts into a cascade so cheap predicates (already
+            # cost-ordered by the optimizer) prune rows before UDF-bearing
+            # ones run — the point of predicate reordering.
+            from repro.sql.optimizer.pushdown import split_conjuncts
+            node = child
+            for conjunct in split_conjuncts(plan.predicate):
+                node = ExecNode(FilterExec(conjunct), [node])
+            return node
+
+        if isinstance(plan, logical.Project):
+            child = self._lower(plan.input)
+            op = ProjectExec(plan.exprs, [name for name, _ in plan.schema])
+            return ExecNode(op, [child])
+
+        if isinstance(plan, logical.Aggregate):
+            child = self._lower(plan.input)
+            op = self._pick_aggregate(plan)
+            return ExecNode(op, [child])
+
+        if isinstance(plan, logical.JoinPlan):
+            left = self._lower(plan.left)
+            right = self._lower(plan.right)
+            left_names = [name for name, _ in plan.left.schema]
+            right_names = [name for name, _ in plan.right.schema]
+            op = JoinExec(plan.kind, plan.left_keys, plan.right_keys, plan.residual,
+                          left_names, right_names)
+            return ExecNode(op, [left, right])
+
+        if isinstance(plan, logical.Limit):
+            fused = self._maybe_fuse_topk(plan)
+            if fused is not None:
+                return fused
+            child = self._lower(plan.input)
+            return ExecNode(LimitExec(plan.count, plan.offset), [child])
+
+        if isinstance(plan, logical.Sort):
+            child = self._lower(plan.input)
+            return ExecNode(SortExec(plan.keys), [child])
+
+        if isinstance(plan, logical.Distinct):
+            child = self._lower(plan.input)
+            return ExecNode(DistinctExec(), [child])
+
+        raise PlanError(f"cannot lower {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # Implementation choices (flags + heuristics)
+    # ------------------------------------------------------------------
+    def _pick_aggregate(self, plan: logical.Aggregate):
+        impl = self.config.groupby_impl
+        if impl == "soft" or (impl == "auto" and self.config.trainable and plan.group_exprs):
+            return SoftAggregateExec(plan.group_exprs, plan.group_names, plan.aggregates)
+        if impl == "hash":
+            return HashAggregateExec(plan.group_exprs, plan.group_names, plan.aggregates)
+        if impl == "sort":
+            return SortAggregateExec(plan.group_exprs, plan.group_names, plan.aggregates)
+        if impl != "auto":
+            raise PlanError(f"unknown groupby_impl {impl!r}")
+        # Heuristic measured in bench_ablation_operators (A2): the TQP-style
+        # sort/segment algorithm dominates the unique(axis=0) hash variant on
+        # this runtime at every cardinality we tested, so `auto` lowers to
+        # sort; hash remains available behind the GROUPBY_IMPL flag.
+        return SortAggregateExec(plan.group_exprs, plan.group_names, plan.aggregates)
+
+    def _maybe_fuse_topk(self, plan: logical.Limit):
+        if not isinstance(plan.input, logical.Sort):
+            return None
+        impl = self.config.topk_impl
+        if impl == "sort":
+            return None
+        sort_plan = plan.input
+        child = self._lower(sort_plan.input)
+        op = TopKExec(sort_plan.keys, plan.count, plan.offset)
+        return ExecNode(op, [child])
+
+
+def _aggregate_output_slots(plan: logical.LogicalPlan) -> List[int]:
+    """Output column indexes that carry aggregate values (for trainable runs).
+
+    Walks down through output-preserving nodes to the Aggregate (if any) and
+    maps its aggregate slots through intervening projections.
+    """
+    node = plan
+    mapping = list(range(len(plan.schema)))
+    while True:
+        if isinstance(node, logical.Aggregate):
+            num_groups = len(node.group_names)
+            agg_slots = set(range(num_groups, num_groups + len(node.aggregates)))
+            return [i for i, src in enumerate(mapping) if src in agg_slots]
+        if isinstance(node, logical.Project):
+            from repro.sql import bound as b
+            new_mapping = []
+            for out_idx, src in enumerate(mapping):
+                expr = node.exprs[src] if 0 <= src < len(node.exprs) else None
+                if isinstance(expr, b.BColumn):
+                    new_mapping.append(expr.index)
+                else:
+                    new_mapping.append(-1)
+            mapping = new_mapping
+            node = node.input
+            continue
+        if isinstance(node, (logical.Filter, logical.Sort, logical.Limit, logical.Distinct)):
+            node = node.input
+            continue
+        return []

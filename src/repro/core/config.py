@@ -1,0 +1,80 @@
+"""Compilation flags and constants (paper Listing 6 uses ``tdp.constants``)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+
+class constants:
+    """Namespace of extra_config keys, mirroring ``tdp.constants`` in the paper."""
+
+    TRAINABLE = "trainable"
+    # Operator implementation choices ("auto" lets heuristics decide).
+    GROUPBY_IMPL = "groupby_impl"          # auto | sort | hash | soft
+    JOIN_IMPL = "join_impl"                # auto | lookup | sortmerge
+    TOPK_IMPL = "topk_impl"                # auto | sort | partition
+    # Optimizer control.
+    DISABLE_RULES = "disable_rules"        # iterable of {fold, pushdown, prune}
+    # Soft-operator hyperparameters.
+    SOFT_FILTER = "soft_filter"            # relax WHERE into row weights
+    SOFT_TEMPERATURE = "soft_temperature"  # sigmoid sharpness for soft filters
+
+
+_DEFAULTS = {
+    constants.TRAINABLE: False,
+    constants.GROUPBY_IMPL: "auto",
+    constants.JOIN_IMPL: "auto",
+    constants.TOPK_IMPL: "auto",
+    constants.DISABLE_RULES: (),
+    constants.SOFT_FILTER: False,
+    constants.SOFT_TEMPERATURE: 25.0,
+}
+
+
+class QueryConfig:
+    """Validated view over the user's ``extra_config`` dict."""
+
+    def __init__(self, extra_config: Optional[Mapping[str, object]] = None):
+        merged = dict(_DEFAULTS)
+        if extra_config:
+            for key, value in extra_config.items():
+                if key not in _DEFAULTS:
+                    raise ValueError(
+                        f"unknown config key {key!r}; valid keys: {sorted(_DEFAULTS)}"
+                    )
+                merged[key] = value
+        self._values = merged
+
+    def __getitem__(self, key: str):
+        return self._values[key]
+
+    @property
+    def trainable(self) -> bool:
+        return bool(self._values[constants.TRAINABLE])
+
+    @property
+    def groupby_impl(self) -> str:
+        return str(self._values[constants.GROUPBY_IMPL])
+
+    @property
+    def join_impl(self) -> str:
+        return str(self._values[constants.JOIN_IMPL])
+
+    @property
+    def topk_impl(self) -> str:
+        return str(self._values[constants.TOPK_IMPL])
+
+    @property
+    def disable_rules(self):
+        return tuple(self._values[constants.DISABLE_RULES])
+
+    @property
+    def soft_filter(self) -> bool:
+        return bool(self._values[constants.SOFT_FILTER])
+
+    @property
+    def soft_temperature(self) -> float:
+        return float(self._values[constants.SOFT_TEMPERATURE])
+
+    def as_optimizer_config(self) -> dict:
+        return {"disable_rules": self.disable_rules}

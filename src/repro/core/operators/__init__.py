@@ -1,0 +1,17 @@
+"""Physical operators (each one an ``nn.Module`` — paper §2)."""
+
+from repro.core.operators.aggregate import HashAggregateExec, SortAggregateExec
+from repro.core.operators.base import Operator, Relation
+from repro.core.operators.filter import FilterExec, SoftFilterExec
+from repro.core.operators.join import JoinExec, equi_join_indices
+from repro.core.operators.project import ProjectExec, TVFExec
+from repro.core.operators.scan import ScanExec
+from repro.core.operators.soft_aggregate import SoftAggregateExec
+from repro.core.operators.sort import DistinctExec, LimitExec, SortExec, TopKExec
+
+__all__ = [
+    "DistinctExec", "FilterExec", "HashAggregateExec", "JoinExec", "LimitExec",
+    "Operator", "ProjectExec", "Relation", "ScanExec", "SoftAggregateExec",
+    "SoftFilterExec", "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
+    "equi_join_indices",
+]

@@ -1,0 +1,268 @@
+"""Group-by aggregation: exact sort-based, exact hash-based, and dense-PE.
+
+The sort-based implementation is the TQP-style tensor algorithm the paper
+builds on [13]: lexsort the group keys, find segment boundaries, and reduce
+each segment with ``reduceat``-backed tensor ops.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.operators.base import Operator, Relation
+from repro.sql.bound import AggSpec, BoundExpr
+from repro.storage.column import Column
+from repro.storage.encodings import (
+    DictionaryEncoding,
+    EncodedTensor,
+    PlainEncoding,
+    ProbabilityEncoding,
+)
+from repro.storage.table import Table
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor
+
+
+def _key_array(column: Column) -> np.ndarray:
+    """Sortable 1-d array for a group key (dictionary codes sort like strings)."""
+    if isinstance(column.encoding, ProbabilityEncoding):
+        return column.encoding.hard_codes(column.tensor)
+    data = column.tensor.detach().data
+    if data.ndim != 1:
+        raise ExecutionError("cannot group by a multi-dimensional column")
+    if data.dtype.kind == "b":
+        return data.astype(np.int8)
+    return data
+
+
+def _group_output_column(column: Column, row_indices: np.ndarray, name: str) -> Column:
+    """Representative key values per group, preserving the encoding."""
+    if isinstance(column.encoding, ProbabilityEncoding):
+        codes = column.encoding.hard_codes(column.tensor)[row_indices]
+        values = column.encoding.domain[codes]
+        return Column.from_values(name, values, device=column.device)
+    return column.take(row_indices).rename(name)
+
+
+class _AggregateBase(Operator):
+    def __init__(self, group_exprs: List[BoundExpr], group_names: List[str],
+                 aggregates: List[AggSpec]):
+        super().__init__()
+        self.group_exprs = group_exprs
+        self.group_names = group_names
+        self.aggregates = aggregates
+        self._register_expr_udfs(group_exprs + [s.arg for s in aggregates if s.arg is not None])
+
+    def _evaluate_inputs(self, relation: Relation
+                         ) -> Tuple[List[Column], List[Optional[Column]]]:
+        evaluator = ExpressionEvaluator(relation.table)
+        keys = [evaluator.evaluate_column(e, n)
+                for e, n in zip(self.group_exprs, self.group_names)]
+        agg_inputs = [
+            evaluator.evaluate_column(spec.arg, spec.name) if spec.arg is not None else None
+            for spec in self.aggregates
+        ]
+        return keys, agg_inputs
+
+    def _global_aggregate(self, relation: Relation,
+                          agg_inputs: List[Optional[Column]]) -> Relation:
+        n = relation.num_rows
+        columns = []
+        for spec, arg in zip(self.aggregates, agg_inputs):
+            columns.append(_global_agg_column(spec, arg, n, relation.device))
+        return Relation(Table(relation.table.name, columns))
+
+
+def _global_agg_column(spec: AggSpec, arg: Optional[Column], n: int, device) -> Column:
+    if spec.func == "COUNT":
+        if spec.arg is None:
+            value = np.asarray([n], dtype=np.int64)
+        elif spec.distinct:
+            value = np.asarray([len(np.unique(_distinct_codes(arg)))], dtype=np.int64)
+        else:
+            value = np.asarray([n], dtype=np.int64)
+        return Column.from_values(spec.name, value, device=device)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    tensor = arg.tensor
+    if n == 0:
+        fill = 0.0 if spec.func in ("SUM", "AVG") else np.nan
+        return Column.from_values(spec.name, np.asarray([fill], dtype=np.float32),
+                                  device=device)
+    if spec.func == "SUM":
+        result = ops.sum(tensor).reshape(1)
+    elif spec.func == "AVG":
+        result = ops.mean(ops.astype(tensor, np.float32)).reshape(1)
+    elif spec.func == "MIN":
+        result = ops.min(tensor).reshape(1)
+    else:  # MAX
+        result = ops.max(tensor).reshape(1)
+    if isinstance(arg.encoding, DictionaryEncoding):
+        raise ExecutionError(f"{spec.func} over string columns is not supported")
+    return Column(spec.name, EncodedTensor(result, PlainEncoding()))
+
+
+def _distinct_codes(column: Column) -> np.ndarray:
+    data = column.tensor.detach().data
+    return data if data.ndim == 1 else data.reshape(data.shape[0], -1)[:, 0]
+
+
+class SortAggregateExec(_AggregateBase):
+    """Sort → segment boundaries → reduceat (works for any key cardinality)."""
+
+    def forward(self, relation: Relation) -> Relation:
+        if relation.weights is not None:
+            raise ExecutionError(
+                "exact aggregation cannot consume soft filter weights; compile the "
+                "query with TRAINABLE to use soft operators"
+            )
+        keys, agg_inputs = self._evaluate_inputs(relation)
+        if not keys:
+            return self._global_aggregate(relation, agg_inputs)
+        n = relation.num_rows
+        if n == 0:
+            columns = [k.take(np.zeros(0, dtype=np.int64)) for k in keys]
+            for spec in self.aggregates:
+                columns.append(Column.from_values(spec.name, np.zeros(0, dtype=np.int64)))
+            return Relation(Table(relation.table.name, columns))
+
+        key_arrays = [_key_array(k) for k in keys]
+        order = np.lexsort(tuple(reversed(key_arrays)))
+        sorted_keys = [arr[order] for arr in key_arrays]
+        change = np.zeros(n, dtype=bool)
+        change[0] = True
+        for arr in sorted_keys:
+            change[1:] |= arr[1:] != arr[:-1]
+        starts = np.flatnonzero(change)
+        lengths = np.diff(np.append(starts, n))
+        rep_rows = order[starts]
+
+        columns = [
+            _group_output_column(k, rep_rows, name)
+            for k, name in zip(keys, self.group_names)
+        ]
+        for spec, arg in zip(self.aggregates, agg_inputs):
+            columns.append(_segment_agg_column(spec, arg, order, starts, lengths,
+                                               sorted_keys, relation.device))
+        return Relation(Table(relation.table.name, columns))
+
+    def describe(self) -> str:
+        return f"SortAggregate(groups={self.group_names})"
+
+
+def _segment_agg_column(spec: AggSpec, arg: Optional[Column], order: np.ndarray,
+                        starts: np.ndarray, lengths: np.ndarray,
+                        sorted_keys: List[np.ndarray], device) -> Column:
+    if spec.func == "COUNT" and spec.arg is None:
+        return Column.from_values(spec.name, lengths.astype(np.int64), device=device)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    data = arg.tensor.detach().data[order]
+    if spec.func == "COUNT":
+        if spec.distinct:
+            # Sort values within segments and count distinct runs per segment.
+            seg_ids = np.repeat(np.arange(len(starts)), lengths)
+            sub_order = np.lexsort((data, seg_ids))
+            seg_sorted = seg_ids[sub_order]
+            val_sorted = data[sub_order]
+            new_run = np.ones(len(data), dtype=np.int64)
+            same_seg = seg_sorted[1:] == seg_sorted[:-1]
+            same_val = val_sorted[1:] == val_sorted[:-1]
+            new_run[1:] = ~(same_seg & same_val)
+            counts = np.add.reduceat(new_run, starts)
+            return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+        return Column.from_values(spec.name, lengths.astype(np.int64), device=device)
+    if isinstance(arg.encoding, DictionaryEncoding):
+        raise ExecutionError(f"{spec.func} over string columns is not supported")
+    if spec.func == "SUM":
+        result = np.add.reduceat(data, starts, axis=0)
+    elif spec.func == "AVG":
+        result = np.add.reduceat(data.astype(np.float64), starts, axis=0) / lengths
+        result = result.astype(np.float32)
+    elif spec.func == "MIN":
+        result = np.minimum.reduceat(data, starts, axis=0)
+    else:  # MAX
+        result = np.maximum.reduceat(data, starts, axis=0)
+    return Column.from_values(spec.name, result, device=device)
+
+
+class HashAggregateExec(_AggregateBase):
+    """Factorise keys with np.unique(axis=0), accumulate with bincount/add.at."""
+
+    def forward(self, relation: Relation) -> Relation:
+        if relation.weights is not None:
+            raise ExecutionError(
+                "exact aggregation cannot consume soft filter weights; compile the "
+                "query with TRAINABLE to use soft operators"
+            )
+        keys, agg_inputs = self._evaluate_inputs(relation)
+        if not keys:
+            return self._global_aggregate(relation, agg_inputs)
+        n = relation.num_rows
+        if n == 0:
+            return SortAggregateExec(self.group_exprs, self.group_names,
+                                     self.aggregates)(relation)
+
+        key_arrays = [_key_array(k) for k in keys]
+        stacked = np.stack([a.astype(np.float64) if a.dtype.kind == "f" else a.astype(np.int64)
+                            for a in key_arrays], axis=1)
+        uniques, inverse, first_pos = _factorize_rows(stacked)
+        num_groups = uniques.shape[0]
+
+        columns = [
+            _group_output_column(k, first_pos, name)
+            for k, name in zip(keys, self.group_names)
+        ]
+        for spec, arg in zip(self.aggregates, agg_inputs):
+            columns.append(_hash_agg_column(spec, arg, inverse, num_groups, relation.device))
+        return Relation(Table(relation.table.name, columns))
+
+    def describe(self) -> str:
+        return f"HashAggregate(groups={self.group_names})"
+
+
+def _factorize_rows(stacked: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique rows + inverse codes + first occurrence row of each unique."""
+    uniques, index, inverse = np.unique(stacked, axis=0, return_index=True,
+                                        return_inverse=True)
+    return uniques, inverse.reshape(-1), index
+
+
+def _hash_agg_column(spec: AggSpec, arg: Optional[Column], inverse: np.ndarray,
+                     num_groups: int, device) -> Column:
+    if spec.func == "COUNT" and spec.arg is None:
+        counts = np.bincount(inverse, minlength=num_groups)
+        return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    data = arg.tensor.detach().data
+    if spec.func == "COUNT":
+        if spec.distinct:
+            pairs = np.unique(np.stack([inverse.astype(np.int64),
+                                        data.astype(np.float64)], axis=1), axis=0)
+            counts = np.bincount(pairs[:, 0].astype(np.int64), minlength=num_groups)
+            return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+        counts = np.bincount(inverse, minlength=num_groups)
+        return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+    if spec.func == "SUM":
+        result = np.zeros(num_groups, dtype=np.float64)
+        np.add.at(result, inverse, data.astype(np.float64))
+        result = result.astype(data.dtype if data.dtype.kind == "i" else np.float32)
+    elif spec.func == "AVG":
+        sums = np.zeros(num_groups, dtype=np.float64)
+        np.add.at(sums, inverse, data.astype(np.float64))
+        counts = np.bincount(inverse, minlength=num_groups)
+        result = (sums / np.maximum(counts, 1)).astype(np.float32)
+    elif spec.func == "MIN":
+        result = np.full(num_groups, np.inf)
+        np.minimum.at(result, inverse, data.astype(np.float64))
+        result = result.astype(data.dtype if data.dtype.kind == "i" else np.float32)
+    else:  # MAX
+        result = np.full(num_groups, -np.inf)
+        np.maximum.at(result, inverse, data.astype(np.float64))
+        result = result.astype(data.dtype if data.dtype.kind == "i" else np.float32)
+    return Column.from_values(spec.name, result, device=device)

@@ -1,0 +1,96 @@
+"""Operator base classes and the Relation wrapper.
+
+Paper §2: "TDP compiles [the physical plan] into a sequence of PyTorch
+models, one per operator". Accordingly every physical operator here is an
+``nn.Module`` whose ``forward`` maps a :class:`Relation` to a
+:class:`Relation`; soft (differentiable) operators additionally carry row
+*weights* — the continuous relaxation of filtering.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.sql import bound as b
+from repro.storage.table import Table
+from repro.tcr.nn.module import Module
+from repro.tcr.tensor import Tensor
+
+
+@dataclasses.dataclass
+class Relation:
+    """A table flowing between operators, plus optional soft row weights.
+
+    ``weights`` is None in exact execution. Under soft filters it is a
+    float tensor of shape (num_rows,) in [0, 1]; soft aggregates consume it
+    as fractional row multiplicity.
+    """
+
+    table: Table
+    weights: Optional[Tensor] = None
+
+    @property
+    def num_rows(self) -> int:
+        return self.table.num_rows
+
+    @property
+    def device(self):
+        return self.table.device
+
+
+class Operator(Module):
+    """Base class for physical operators."""
+
+    def forward(self, relation: Relation) -> Relation:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def _register_expr_udfs(self, exprs) -> None:
+        """Register nn.Modules owned by UDFs inside expressions, so the
+        compiled query's ``parameters()`` reaches them."""
+        counter = 0
+        for expr in exprs:
+            for udf in _collect_udfs(expr):
+                for module in udf.modules:
+                    self.register_module(f"udf_{udf.name}_{counter}", module)
+                    counter += 1
+
+
+def _collect_udfs(expr: b.BoundExpr) -> List[object]:
+    found = []
+
+    def walk(node):
+        if isinstance(node, b.BCall):
+            found.append(node.udf)
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, b.BBinary):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, b.BUnary):
+            walk(node.operand)
+        elif isinstance(node, b.BBuiltin):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, b.BBetween):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (b.BIn, b.BLike, b.BIsNull)):
+            walk(node.operand)
+        elif isinstance(node, b.BCase):
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            if node.else_ is not None:
+                walk(node.else_)
+        elif isinstance(node, b.BCast):
+            walk(node.operand)
+
+    if expr is not None:
+        walk(expr)
+    return found

@@ -1,0 +1,142 @@
+"""Join operators: sorted-lookup equi-join (TQP-style) and cross join."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.operators.base import Operator, Relation
+from repro.sql.bound import BoundExpr
+from repro.storage.column import Column
+from repro.storage.encodings import DictionaryEncoding
+from repro.storage.table import Table
+
+
+def _join_codes(left: Column, right: Column) -> Tuple[np.ndarray, np.ndarray]:
+    """Factorise a key pair into comparable integer codes."""
+    if isinstance(left.encoding, DictionaryEncoding) or isinstance(
+            right.encoding, DictionaryEncoding):
+        left_vals = left.decode().astype(str)
+        right_vals = right.decode().astype(str)
+    else:
+        left_vals = left.tensor.detach().data
+        right_vals = right.tensor.detach().data
+        if left_vals.ndim != 1 or right_vals.ndim != 1:
+            raise ExecutionError("join keys must be scalar columns")
+    combined = np.concatenate([left_vals, right_vals])
+    _, inverse = np.unique(combined, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    return inverse[:len(left_vals)], inverse[len(left_vals):]
+
+
+def equi_join_indices(left_codes: np.ndarray, right_codes: np.ndarray,
+                      keep_unmatched_left: bool = False
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+    """Matching row index pairs for an equi-join.
+
+    Sort the right side once; for each left row, binary-search its matching
+    range — the vectorised sorted-lookup join TQP lowers hash joins to.
+    Unmatched left rows appear with right index -1 when requested (LEFT JOIN).
+    """
+    if len(left_codes) == 0 or (len(right_codes) == 0 and not keep_unmatched_left):
+        empty = np.zeros(0, dtype=np.int64)
+        return empty, empty.copy()
+    order = np.argsort(right_codes, kind="stable")
+    sorted_right = right_codes[order]
+    lo = np.searchsorted(sorted_right, left_codes, side="left")
+    hi = np.searchsorted(sorted_right, left_codes, side="right")
+    counts = hi - lo
+    if keep_unmatched_left:
+        out_counts = np.maximum(counts, 1)
+    else:
+        out_counts = counts
+    total = int(out_counts.sum())
+    left_idx = np.repeat(np.arange(len(left_codes)), out_counts)
+    # Offsets within each left row's output block.
+    block_starts = np.concatenate([[0], np.cumsum(out_counts)[:-1]])
+    within = np.arange(total) - np.repeat(block_starts, out_counts)
+    right_sorted_pos = np.repeat(lo, out_counts) + within
+    matched = np.repeat(counts > 0, out_counts)
+    right_idx = np.full(total, -1, dtype=np.int64)
+    right_idx[matched] = order[right_sorted_pos[matched]]
+    return left_idx, right_idx
+
+
+def _null_fill_column(column: Column, indices: np.ndarray, name: str) -> Column:
+    """Gather with -1 → NULL-ish fill (NaN/0/"") for LEFT JOIN unmatched rows."""
+    valid = indices >= 0
+    safe = np.where(valid, indices, 0)
+    gathered = column.take(safe)
+    if valid.all():
+        return gathered.rename(name)
+    data = gathered.tensor.detach().data.copy()
+    if data.dtype.kind == "f":
+        data[~valid] = np.nan
+    else:
+        data[~valid] = 0
+    from repro.storage.encodings import EncodedTensor
+    from repro.tcr.tensor import Tensor
+    return Column(name, EncodedTensor(Tensor(data, device=column.device),
+                                      gathered.encoding))
+
+
+class JoinExec(Operator):
+    def __init__(self, kind: str, left_keys: List[BoundExpr],
+                 right_keys: List[BoundExpr], residual: Optional[BoundExpr],
+                 left_names: List[str], right_names: List[str]):
+        super().__init__()
+        self.kind = kind
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.left_names = left_names
+        self.right_names = right_names
+        self._register_expr_udfs(left_keys + right_keys + ([residual] if residual else []))
+
+    def forward(self, left_rel: Relation, right_rel: Relation = None) -> Relation:
+        if right_rel is None:
+            raise ExecutionError("JoinExec.forward needs two input relations")
+        if left_rel.weights is not None or right_rel.weights is not None:
+            raise ExecutionError("joins do not support soft filter weights")
+        left, right = left_rel.table, right_rel.table
+
+        if self.kind == "CROSS" or not self.left_keys:
+            li = np.repeat(np.arange(left.num_rows), right.num_rows)
+            ri = np.tile(np.arange(right.num_rows), left.num_rows)
+        else:
+            left_eval = ExpressionEvaluator(left)
+            right_eval = ExpressionEvaluator(right)
+            combined_left = np.zeros(left.num_rows, dtype=np.int64)
+            combined_right = np.zeros(right.num_rows, dtype=np.int64)
+            for lk, rk in zip(self.left_keys, self.right_keys):
+                lcol = left_eval.evaluate_column(lk)
+                rcol = right_eval.evaluate_column(rk)
+                lcodes, rcodes = _join_codes(lcol, rcol)
+                radix = max(int(lcodes.max(initial=0)), int(rcodes.max(initial=0))) + 2
+                combined_left = combined_left * radix + lcodes
+                combined_right = combined_right * radix + rcodes
+            if self.kind == "RIGHT":
+                ri, li = equi_join_indices(combined_right, combined_left,
+                                           keep_unmatched_left=True)
+            else:
+                li, ri = equi_join_indices(combined_left, combined_right,
+                                           keep_unmatched_left=(self.kind == "LEFT"))
+
+        columns = []
+        for col, name in zip(left.columns, self.left_names):
+            columns.append(_null_fill_column(col, li, name))
+        for col, name in zip(right.columns, self.right_names):
+            columns.append(_null_fill_column(col, ri, name))
+        joined = Relation(Table(left.name, columns))
+
+        if self.residual is not None:
+            evaluator = ExpressionEvaluator(joined.table)
+            mask = evaluator.evaluate_mask(self.residual)
+            joined = Relation(joined.table.take(np.flatnonzero(mask)))
+        return joined
+
+    def describe(self) -> str:
+        return f"Join({self.kind})"

@@ -1,0 +1,72 @@
+"""Projection and table-valued-function operators."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ExecutionError
+from repro.core.expr_eval import ExpressionEvaluator, Scalar, _invoke_batched
+from repro.core.operators.base import Operator, Relation
+from repro.sql import bound as b
+from repro.storage.encodings import PlainEncoding
+from repro.storage.table import Table
+
+
+class ProjectExec(Operator):
+    def __init__(self, exprs: List[b.BoundExpr], names: List[str]):
+        super().__init__()
+        self.exprs = exprs
+        self.names = names
+        self._register_expr_udfs(exprs)
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        columns = [
+            evaluator.evaluate_column(expr, name)
+            for expr, name in zip(self.exprs, self.names)
+        ]
+        return Relation(Table(relation.table.name, columns), relation.weights)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.names)})"
+
+
+class TVFExec(Operator):
+    """Apply a table-valued function row-wise; output replaces the schema.
+
+    The function runs on the same tensor runtime as the surrounding plan —
+    "UDFs/TVFs and SQL operators are all compiled down into [tensor]
+    programs" (paper §3) — so there is no data marshalling boundary.
+    """
+
+    def __init__(self, udf, arg_exprs: List[b.BoundExpr], names: List[str]):
+        super().__init__()
+        self.udf = udf
+        self.arg_exprs = arg_exprs
+        self.names = names
+        for i, module in enumerate(udf.modules):
+            self.register_module(f"udf_{udf.name}_{i}", module)
+        self._register_expr_udfs(arg_exprs)
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        args = []
+        for expr in self.arg_exprs:
+            value = evaluator.evaluate(expr)
+            if isinstance(value, Scalar):
+                args.append(value.value)
+            elif self.udf.encoded_io or not isinstance(value.encoding, PlainEncoding):
+                args.append(value.encoded)
+            else:
+                args.append(value.tensor)
+        columns = _invoke_batched(self.udf, args, relation.num_rows, relation.device)
+        renamed = [col.rename(name) for col, name in zip(columns, self.names)]
+        out = Table(relation.table.name, renamed)
+        # TVFs may change cardinality (one grid image becomes nine tile rows,
+        # one document image becomes N extracted table rows); soft row weights
+        # only survive when the function is row-preserving.
+        weights = relation.weights if out.num_rows == relation.num_rows else None
+        return Relation(out, weights)
+
+    def describe(self) -> str:
+        return f"TVF({self.udf.name})"

@@ -1,0 +1,121 @@
+"""The TDP session: the ``tdp`` object of the paper's listings.
+
+>>> import repro as tdp
+>>> tdp.sql.register_df(data, "numbers", device="cuda")
+>>> q = tdp.sql.spark.query("SELECT ... FROM numbers ...", device="cuda")
+>>> result = q.run(toPandas=True)
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from repro.errors import CatalogError
+from repro.core.compiled_query import CompiledQuery
+from repro.core.compiler import Compiler
+from repro.core.config import QueryConfig, constants
+from repro.core.udf import FunctionRegistry, make_udf_decorator
+from repro.sql.binder import Binder
+from repro.sql.optimizer import optimize
+from repro.sql.parser import parse
+from repro.storage.catalog import Catalog
+from repro.storage.frame import DataFrame
+from repro.storage.table import Table
+from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+class SparkNamespace:
+    """Alias namespace mirroring ``tdp.sql.spark.query`` / ``tdp.spark.query``.
+
+    The paper routes SQL through Spark's parser/optimizer; our built-in
+    front end plays that role, so ``spark.query`` is simply the entry point.
+    """
+
+    def __init__(self, session: "Session"):
+        self._session = session
+
+    def query(self, statement: str, device: str = "cpu",
+              extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
+        return self._session.compile_query(statement, device=device,
+                                           extra_config=extra_config)
+
+
+class SqlNamespace:
+    """``tdp.sql``: registration APIs plus the planner entry points."""
+
+    def __init__(self, session: "Session"):
+        self._session = session
+        self.spark = SparkNamespace(session)
+        # Substrait-style plans share the same front end in this build.
+        self.substrait = self.spark
+
+    # ------------------------------------------------------------------
+    # Registration (paper Example 2.1)
+    # ------------------------------------------------------------------
+    def register_df(self, frame: DataFrame, name: str, device: Optional[str] = None) -> Table:
+        """Store a DataFrame as a named TDP table (converted + encoded)."""
+        table = Table.from_frame(name, frame, device=device)
+        self._session.catalog.register(name, table)
+        return table
+
+    def register_dict(self, data: Mapping[str, object], name: str,
+                      device: Optional[str] = None) -> Table:
+        table = Table.from_dict(name, data, device=device)
+        self._session.catalog.register(name, table)
+        return table
+
+    def register_numpy(self, array: np.ndarray, name: str, column: str = "value",
+                       device: Optional[str] = None) -> Table:
+        """Register a (possibly multi-dimensional) numpy array as one column."""
+        return self.register_tensor(ensure_tensor(array), name, column=column, device=device)
+
+    def register_tensor(self, tensor, name: str, column: str = "value",
+                        device: Optional[str] = None) -> Table:
+        """Register a bare tensor as a single-column table (paper Listing 5)."""
+        table = Table.from_tensor(name, ensure_tensor(tensor), column=column, device=device)
+        self._session.catalog.register(name, table)
+        return table
+
+    def register_table(self, table: Table, name: Optional[str] = None) -> Table:
+        self._session.catalog.register(name or table.name, table)
+        return table
+
+    def drop(self, name: str) -> None:
+        self._session.catalog.drop(name)
+
+    def tables(self):
+        return self._session.catalog.names()
+
+    def query(self, statement: str, device: str = "cpu",
+              extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
+        return self._session.compile_query(statement, device=device,
+                                           extra_config=extra_config)
+
+
+class Session:
+    """One TDP instance: a catalog, a UDF registry, and query compilation."""
+
+    def __init__(self):
+        self.catalog = Catalog()
+        self.functions = FunctionRegistry()
+        self.sql = SqlNamespace(self)
+        self.spark = self.sql.spark
+        self.constants = constants
+        self.udf = make_udf_decorator(self.functions)
+
+    def compile_query(self, statement: str, device: str = "cpu",
+                      extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
+        """Parse → bind → optimize → lower (paper Example 2.2)."""
+        config = QueryConfig(extra_config)
+        ast = parse(statement)
+        plan = Binder(self.catalog, self.functions).bind(ast)
+        plan = optimize(plan, config.as_optimizer_config())
+        compiler = Compiler(self.catalog, config, device)
+        return compiler.compile(plan, statement)
+
+    def reset(self) -> None:
+        """Drop all registered tables and functions (test isolation)."""
+        self.catalog.clear()
+        self.functions.clear()

@@ -1,0 +1,17 @@
+"""Soft (differentiable) relational operators (paper §4)."""
+
+from repro.core.soft.relaxations import soft_predicate
+from repro.core.soft.soft_groupby import (
+    dense_domain_columns,
+    joint_membership,
+    soft_count,
+    soft_groupby_avg,
+    soft_groupby_count,
+    soft_groupby_sum,
+)
+
+__all__ = [
+    "dense_domain_columns", "joint_membership", "soft_count",
+    "soft_groupby_avg", "soft_groupby_count", "soft_groupby_sum",
+    "soft_predicate",
+]

@@ -1,0 +1,72 @@
+"""Continuous relaxations of discrete predicates (paper §4).
+
+The paper cites logistic relaxations of step functions [28, 43]: a predicate
+``x > t`` becomes ``sigmoid(tau * (x - t))``, a row *weight* in (0, 1) that
+downstream soft aggregates treat as fractional membership. Boolean algebra
+maps to product/probabilistic-sum, the standard t-norm/t-conorm pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.core.expr_eval import ExpressionEvaluator, Scalar
+from repro.sql import bound as b
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor
+
+
+def soft_predicate(expr: b.BoundExpr, evaluator: ExpressionEvaluator,
+                   temperature: float) -> Tensor:
+    """Evaluate a predicate as differentiable row weights in (0, 1)."""
+    if isinstance(expr, b.BBinary):
+        if expr.op == "AND":
+            left = soft_predicate(expr.left, evaluator, temperature)
+            right = soft_predicate(expr.right, evaluator, temperature)
+            return left * right
+        if expr.op == "OR":
+            left = soft_predicate(expr.left, evaluator, temperature)
+            right = soft_predicate(expr.right, evaluator, temperature)
+            return left + right - left * right
+        if expr.op in (">", ">=", "<", "<=", "=", "!="):
+            return _soft_compare(expr, evaluator, temperature)
+        raise ExecutionError(f"cannot relax operator {expr.op!r}")
+    if isinstance(expr, b.BUnary) and expr.op == "NOT":
+        return 1.0 - soft_predicate(expr.operand, evaluator, temperature)
+    if isinstance(expr, b.BBetween):
+        low = soft_predicate(
+            b.BBinary(">=", expr.operand, expr.low, expr.data_type), evaluator, temperature
+        )
+        high = soft_predicate(
+            b.BBinary("<=", expr.operand, expr.high, expr.data_type), evaluator, temperature
+        )
+        weight = low * high
+        return 1.0 - weight if expr.negated else weight
+    # Fall back to the hard boolean result as 0/1 weights (no gradient).
+    mask = evaluator.evaluate_mask(expr)
+    return Tensor(mask.astype(np.float32), device=evaluator.device)
+
+
+def _soft_compare(expr: b.BBinary, evaluator: ExpressionEvaluator,
+                  temperature: float) -> Tensor:
+    left = _float_tensor(evaluator, expr.left)
+    right = _float_tensor(evaluator, expr.right)
+    diff = left - right
+    if expr.op in (">", ">="):
+        return ops.sigmoid(diff * temperature)
+    if expr.op in ("<", "<="):
+        return ops.sigmoid(-diff * temperature)
+    # Equality: Gaussian kernel peaked at 0 difference.
+    closeness = ops.exp(-(diff * diff) * temperature)
+    if expr.op == "!=":
+        return 1.0 - closeness
+    return closeness
+
+
+def _float_tensor(evaluator: ExpressionEvaluator, expr: b.BoundExpr) -> Tensor:
+    value = evaluator.evaluate(expr)
+    tensor = evaluator._numeric_tensor(value)
+    if tensor.dtype.kind != "f":
+        tensor = ops.astype(tensor, np.float32)
+    return tensor

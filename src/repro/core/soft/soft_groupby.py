@@ -1,0 +1,82 @@
+"""Differentiable group-by/count/sum over Probability-Encoded columns.
+
+Paper §4 / Fig 1: ``soft_count`` on PE data needs only addition and
+multiplication [7] — the expected count of class c is the sum of per-row
+probabilities of c. ``soft_groupby`` generalises to multi-column grouping:
+the joint membership of row r in group (i, j) is P1[r, i] * P2[r, j]
+(independence across parsers), so grouped counts are Khatri-Rao products
+reduced over rows — pure matmul/einsum, hence end-to-end differentiable.
+
+At inference the engine swaps these for exact implementations over the same
+*dense* domain cross-product, eliminating approximation error while keeping
+the output shape stable between training and deployment.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor, ones
+
+
+def soft_count(probs: Tensor, weights: Optional[Tensor] = None) -> Tensor:
+    """Expected per-class counts of one PE column: sum_r w_r * P[r, :]."""
+    if probs.ndim != 2:
+        raise ExecutionError(f"soft_count expects (rows, classes), got {probs.shape}")
+    if weights is not None:
+        probs = probs * ops.reshape(weights, (-1, 1))
+    return ops.sum(probs, dim=0)
+
+
+def joint_membership(pe_tensors: Sequence[Tensor],
+                     weights: Optional[Tensor] = None) -> Tensor:
+    """Row-wise joint membership over the dense domain cross-product.
+
+    Returns a (rows, prod(k_i)) tensor; flattening order has the *first*
+    grouping column varying slowest (matching meshgrid 'ij' order).
+    """
+    if not pe_tensors:
+        raise ExecutionError("joint_membership requires at least one PE column")
+    n = pe_tensors[0].shape[0]
+    acc = ones(n, 1, device=pe_tensors[0].device)
+    width = 1
+    for probs in pe_tensors:
+        if probs.shape[0] != n:
+            raise ExecutionError("PE columns in one group-by must have equal row counts")
+        k = probs.shape[1]
+        acc = ops.einsum_pair("rm,rk->rmk", acc, probs)
+        width *= k
+        acc = ops.reshape(acc, (n, width))
+    if weights is not None:
+        acc = acc * ops.reshape(weights, (-1, 1))
+    return acc
+
+
+def soft_groupby_count(pe_tensors: Sequence[Tensor],
+                       weights: Optional[Tensor] = None) -> Tensor:
+    """Dense expected counts per group combination, shape (prod(k_i),)."""
+    return ops.sum(joint_membership(pe_tensors, weights), dim=0)
+
+
+def soft_groupby_sum(pe_tensors: Sequence[Tensor], values: Tensor,
+                     weights: Optional[Tensor] = None) -> Tensor:
+    """Dense expected per-group sums of ``values`` (shape (rows,))."""
+    membership = joint_membership(pe_tensors, weights)
+    return ops.sum(membership * ops.reshape(values, (-1, 1)), dim=0)
+
+
+def soft_groupby_avg(pe_tensors: Sequence[Tensor], values: Tensor,
+                     weights: Optional[Tensor] = None, eps: float = 1e-8) -> Tensor:
+    sums = soft_groupby_sum(pe_tensors, values, weights)
+    counts = soft_groupby_count(pe_tensors, weights)
+    return sums / (counts + eps)
+
+
+def dense_domain_columns(domains: Sequence[np.ndarray]) -> List[np.ndarray]:
+    """Cross-product key values aligned with the flattened membership order."""
+    grids = np.meshgrid(*domains, indexing="ij")
+    return [g.reshape(-1) for g in grids]

@@ -1,0 +1,205 @@
+"""Synthetic email-attachment images (paper §5.1, Fig 2).
+
+Three visually distinct classes — photographs (with dog/cat/mountain/beach
+subjects), receipts (white pages with text lines and a vendor-coloured
+header band), and flat company logos — each paired with a natural-language
+caption. TinyCLIP trains contrastively on (image, caption) pairs so the
+multimodal queries ("receipt", "dog", "KFC Receipt") have signal to latch
+onto at its 25x25 downsampled resolution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.fonts import char_pitch, paste, render_text
+
+IMAGE_HEIGHT = 200
+IMAGE_WIDTH = 300
+
+PHOTO_SUBJECTS = ["dog", "cat", "mountain", "beach"]
+VENDORS = ["KFC", "STARBUCKS", "WALMART", "TARGET", "DINER"]
+LOGO_NAMES = ["ACME", "GLOBEX", "INITECH", "UMBRELLA", "STARK"]
+
+# Vendor header-band colours (visible even at 25x25): RGB in [0, 1].
+_VENDOR_COLORS = {
+    "KFC": (0.85, 0.10, 0.10),
+    "STARBUCKS": (0.05, 0.45, 0.25),
+    "WALMART": (0.15, 0.35, 0.80),
+    "TARGET": (0.90, 0.25, 0.25),
+    "DINER": (0.85, 0.65, 0.10),
+}
+_LOGO_COLORS = [
+    (0.95, 0.35, 0.05), (0.10, 0.60, 0.90), (0.55, 0.10, 0.70),
+    (0.95, 0.80, 0.05), (0.10, 0.75, 0.45),
+]
+_SUBJECT_COLORS = {
+    "dog": (0.48, 0.30, 0.14),       # brown blob
+    "cat": (0.55, 0.55, 0.58),       # grey blob
+    "mountain": (0.42, 0.42, 0.46),  # grey triangle
+    "beach": (0.93, 0.85, 0.60),     # sand
+}
+
+
+@dataclasses.dataclass
+class AttachmentDataset:
+    images: np.ndarray          # (n, 3, 200, 300) float32 in [0, 1]
+    labels: np.ndarray          # object array: photograph / receipt / logo
+    subjects: np.ndarray        # object array: dog / KFC / ACME / ...
+    captions: List[str]
+
+    def __len__(self) -> int:
+        return self.images.shape[0]
+
+
+def _coords(h: int, w: int) -> Tuple[np.ndarray, np.ndarray]:
+    return np.meshgrid(np.arange(h), np.arange(w), indexing="ij")
+
+
+def _photo(subject: str, rng: np.random.Generator) -> np.ndarray:
+    h, w = IMAGE_HEIGHT, IMAGE_WIDTH
+    rr, cc = _coords(h, w)
+    img = np.zeros((3, h, w), dtype=np.float32)
+    horizon = int(h * rng.uniform(0.4, 0.6))
+    if subject in ("dog", "cat"):
+        sky = np.array([0.55, 0.75, 0.95]) * rng.uniform(0.85, 1.1)
+        ground = np.array([0.25, 0.55, 0.20]) * rng.uniform(0.85, 1.1)
+    elif subject == "mountain":
+        sky = np.array([0.60, 0.78, 0.95]) * rng.uniform(0.85, 1.1)
+        ground = np.array([0.35, 0.45, 0.30]) * rng.uniform(0.85, 1.1)
+    else:  # beach
+        sky = np.array([0.55, 0.78, 0.95]) * rng.uniform(0.85, 1.1)
+        ground = np.array(_SUBJECT_COLORS["beach"]) * rng.uniform(0.9, 1.05)
+    for ch in range(3):
+        img[ch, :horizon] = sky[ch]
+        img[ch, horizon:] = ground[ch]
+    if subject == "beach":
+        # Strip of sea between sky and sand.
+        sea_top = int(horizon * 0.8)
+        sea = np.array([0.10, 0.40, 0.75]) * rng.uniform(0.9, 1.1)
+        for ch in range(3):
+            img[ch, sea_top:horizon] = sea[ch]
+    if subject == "mountain":
+        peak_c = int(w * rng.uniform(0.3, 0.7))
+        peak_r = int(h * rng.uniform(0.12, 0.3))
+        slope = rng.uniform(0.7, 1.3)
+        mask = (rr >= peak_r) & (rr <= horizon) & \
+               (np.abs(cc - peak_c) <= slope * (rr - peak_r))
+        color = np.array(_SUBJECT_COLORS["mountain"]) * rng.uniform(0.9, 1.1)
+        for ch in range(3):
+            img[ch][mask] = color[ch]
+        # Snow cap.
+        cap = mask & (rr <= peak_r + (horizon - peak_r) * 0.25)
+        for ch in range(3):
+            img[ch][cap] = 0.95
+    if subject in ("dog", "cat"):
+        # Elliptical body + smaller head blob in the subject colour.
+        color = np.array(_SUBJECT_COLORS[subject]) * rng.uniform(0.85, 1.1)
+        body_r = int(h * rng.uniform(0.62, 0.78))
+        body_c = int(w * rng.uniform(0.3, 0.7))
+        ry, rx = int(h * 0.13), int(w * 0.13)
+        body = ((rr - body_r) / ry) ** 2 + ((cc - body_c) / rx) ** 2 <= 1.0
+        head = ((rr - (body_r - ry)) / (ry * 0.6)) ** 2 + \
+               ((cc - (body_c + rx)) / (rx * 0.45)) ** 2 <= 1.0
+        for ch in range(3):
+            img[ch][body | head] = color[ch]
+        if subject == "dog":
+            # Dogs get floppy darker ears — extra texture contrast vs cats.
+            ear = ((rr - (body_r - int(1.5 * ry))) / (ry * 0.5)) ** 2 + \
+                  ((cc - (body_c + rx)) / (rx * 0.25)) ** 2 <= 1.0
+            for ch in range(3):
+                img[ch][ear] = color[ch] * 0.5
+    img += rng.normal(0, 0.02, img.shape).astype(np.float32)
+    return np.clip(img, 0.0, 1.0)
+
+
+def _receipt(vendor: str, rng: np.random.Generator) -> np.ndarray:
+    h, w = IMAGE_HEIGHT, IMAGE_WIDTH
+    page = np.full((h, w), rng.uniform(0.93, 0.99), dtype=np.float32)
+    ink = np.zeros((h, w), dtype=np.float32)
+    # Vendor name centred near the top.
+    title = render_text(vendor, scale=2)
+    paste(ink, title, 26, max(4, (w - title.shape[1]) // 2))
+    # Item lines: NAME .... PRICE
+    items = ["BURGER", "FRIES", "COLA", "COFFEE", "WRAP", "SALAD", "PIE"]
+    top = 56
+    for _ in range(int(rng.integers(4, 8))):
+        name = items[int(rng.integers(0, len(items)))]
+        price = f"{rng.uniform(0.5, 19.99):.2f}"
+        line = render_text(f"{name}  ${price}", scale=1)
+        paste(ink, line, top, 20)
+        top += 14
+    paste(ink, render_text(f"TOTAL ${rng.uniform(5, 60):.2f}", scale=2), top + 6, 20)
+    img = np.stack([page, page, page])
+    img = img * (1.0 - np.stack([ink, ink, ink]) * 0.9)
+    # Vendor-coloured header band (brand identity surviving downsampling).
+    band_color = _VENDOR_COLORS[vendor]
+    for ch in range(3):
+        img[ch, :18, :] = band_color[ch] * rng.uniform(0.9, 1.05)
+    img += rng.normal(0, 0.015, img.shape).astype(np.float32)
+    return np.clip(img, 0.0, 1.0)
+
+
+def _logo(name: str, rng: np.random.Generator) -> np.ndarray:
+    h, w = IMAGE_HEIGHT, IMAGE_WIDTH
+    bg = np.asarray(_LOGO_COLORS[int(rng.integers(0, len(_LOGO_COLORS)))])
+    fg = 1.0 - bg  # complementary
+    img = np.zeros((3, h, w), dtype=np.float32)
+    for ch in range(3):
+        img[ch] = bg[ch] * rng.uniform(0.9, 1.05)
+    rr, cc = _coords(h, w)
+    shape_kind = rng.integers(0, 3)
+    center_r, center_c = h // 2, w // 2
+    radius = int(min(h, w) * rng.uniform(0.28, 0.38))
+    if shape_kind == 0:
+        mask = (rr - center_r) ** 2 + (cc - center_c) ** 2 <= radius ** 2
+    elif shape_kind == 1:
+        mask = (np.abs(rr - center_r) <= radius) & (np.abs(cc - center_c) <= radius)
+    else:
+        mask = (np.abs(rr - center_r) + np.abs(cc - center_c)) <= radius
+    for ch in range(3):
+        img[ch][mask] = fg[ch]
+    text = render_text(name[:4], scale=3)
+    ink = np.zeros((h, w), dtype=np.float32)
+    paste(ink, text, center_r - text.shape[0] // 2,
+          max(0, center_c - text.shape[1] // 2))
+    for ch in range(3):
+        img[ch] = img[ch] * (1 - ink) + bg[ch] * ink
+    img += rng.normal(0, 0.01, img.shape).astype(np.float32)
+    return np.clip(img, 0.0, 1.0)
+
+
+def make_attachments(n_photos: int = 100, n_receipts: int = 50, n_logos: int = 50,
+                     rng: Optional[np.random.Generator] = None) -> AttachmentDataset:
+    """Build the Fig 2 dataset (defaults: 100 photos / 50 receipts / 50 logos)."""
+    rng = rng or np.random.default_rng(0)
+    images, labels, subjects, captions = [], [], [], []
+    for i in range(n_photos):
+        subject = PHOTO_SUBJECTS[i % len(PHOTO_SUBJECTS)]
+        images.append(_photo(subject, rng))
+        labels.append("photograph")
+        subjects.append(subject)
+        captions.append(f"a photo of a {subject}")
+    for i in range(n_receipts):
+        vendor = VENDORS[i % len(VENDORS)]
+        images.append(_receipt(vendor, rng))
+        labels.append("receipt")
+        subjects.append(vendor)
+        captions.append(f"a receipt from {vendor}")
+    for i in range(n_logos):
+        name = LOGO_NAMES[i % len(LOGO_NAMES)]
+        images.append(_logo(name, rng))
+        labels.append("logo")
+        subjects.append(name)
+        captions.append(f"company logo of {name}")
+    order = rng.permutation(len(images))
+    stacked = np.stack(images).astype(np.float32)[order]
+    return AttachmentDataset(
+        images=stacked,
+        labels=np.asarray(labels, dtype=object)[order],
+        subjects=np.asarray(subjects, dtype=object)[order],
+        captions=[captions[i] for i in order],
+    )

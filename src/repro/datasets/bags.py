@@ -1,0 +1,57 @@
+"""LLP bag construction and the Laplace mechanism (paper §5.3, §5.4).
+
+Following the LLP protocol of [42]: shuffle instances, partition into bags of
+a fixed size, and supervise only with per-bag class counts. For Label-DP
+(paper §5.4, following [31]) the counts are perturbed with Laplace noise of
+scale 1/eps before training.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclasses.dataclass
+class Bag:
+    features: np.ndarray      # (bag_size, d)
+    counts: np.ndarray        # (num_classes,) float — possibly noisy
+
+
+def make_bags(features: np.ndarray, labels: np.ndarray, bag_size: int,
+              num_classes: int = 2,
+              rng: Optional[np.random.Generator] = None) -> List[Bag]:
+    """Partition instances into bags with exact per-bag label counts."""
+    if bag_size < 1:
+        raise ValueError(f"bag_size must be >= 1, got {bag_size}")
+    rng = rng or np.random.default_rng(0)
+    n = features.shape[0]
+    order = rng.permutation(n)
+    usable = (n // bag_size) * bag_size
+    bags: List[Bag] = []
+    for start in range(0, usable, bag_size):
+        idx = order[start:start + bag_size]
+        counts = np.bincount(labels[idx], minlength=num_classes).astype(np.float32)
+        bags.append(Bag(features[idx], counts))
+    return bags
+
+
+def laplace_counts(bags: List[Bag], epsilon: float,
+                   rng: Optional[np.random.Generator] = None) -> List[Bag]:
+    """Label-DP: add Laplace(1/eps) noise to every bag's count vector.
+
+    One individual's label switches affect each count by at most 1, so noise
+    of scale 1/epsilon per count gives epsilon-label-DP per released count
+    (the mechanism of [31]).
+    """
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    rng = rng or np.random.default_rng(0)
+    scale = 1.0 / epsilon
+    noisy: List[Bag] = []
+    for bag in bags:
+        noise = rng.laplace(0.0, scale, size=bag.counts.shape).astype(np.float32)
+        noisy.append(Bag(bag.features, bag.counts + noise))
+    return noisy

@@ -1,0 +1,46 @@
+"""Synthetic Iris-like dataset (3 Gaussian species clusters, 4 features).
+
+Used as the tabular payload rendered into document images for the OCR
+experiment (paper §5.2 renders Iris dataframes with ``dataframe_image``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.storage.frame import DataFrame
+
+FEATURES = ["SepalLength", "SepalWidth", "PetalLength", "PetalWidth"]
+SPECIES = ["setosa", "versicolor", "virginica"]
+
+# Cluster means/stds chosen near the classic dataset's per-species statistics.
+_MEANS = {
+    "setosa": [5.0, 3.4, 1.5, 0.2],
+    "versicolor": [5.9, 2.8, 4.3, 1.3],
+    "virginica": [6.6, 3.0, 5.6, 2.0],
+}
+_STDS = {
+    "setosa": [0.35, 0.38, 0.17, 0.10],
+    "versicolor": [0.52, 0.31, 0.47, 0.20],
+    "virginica": [0.64, 0.32, 0.55, 0.27],
+}
+
+
+def make_iris(n: int = 150, rng: Optional[np.random.Generator] = None) -> DataFrame:
+    rng = rng or np.random.default_rng(0)
+    per_species = n // len(SPECIES)
+    columns = {feat: [] for feat in FEATURES}
+    species_col = []
+    for species in SPECIES:
+        means = np.asarray(_MEANS[species])
+        stds = np.asarray(_STDS[species])
+        samples = rng.normal(means, stds, size=(per_species, 4)).clip(0.1, 9.9)
+        for j, feat in enumerate(FEATURES):
+            columns[feat].extend(np.round(samples[:, j], 1))
+        species_col.extend([species] * per_species)
+    frame = DataFrame({feat: np.asarray(vals, dtype=np.float32)
+                       for feat, vals in columns.items()})
+    frame["Species"] = np.asarray(species_col, dtype=object)
+    return frame

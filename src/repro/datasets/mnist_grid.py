@@ -1,0 +1,64 @@
+"""MNISTGrid: 3x3 grids of small/large digits (paper Example 3.1, Fig 1).
+
+Each grid concatenates nine 28x28 digit tiles into one 84x84 image. The
+supervision signal for trainable queries is the 20-element vector of counts
+grouped by (digit 0-9, size small/large), flattened digit-major to match the
+dense output order of the soft group-by.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.digits import IMAGE_SIZE, render_digit
+
+GRID_TILES = 3                           # 3x3 tiles per grid
+GRID_SIZE = GRID_TILES * IMAGE_SIZE      # 84
+NUM_GROUPS = 10 * 2                      # (digit, size) combinations
+
+
+@dataclasses.dataclass
+class MnistGridDataset:
+    """grids: (n, 1, 84, 84); counts: (n, 20); per-tile labels for analysis."""
+    grids: np.ndarray
+    counts: np.ndarray
+    tile_digits: np.ndarray              # (n, 9)
+    tile_sizes: np.ndarray               # (n, 9)
+
+    def __len__(self) -> int:
+        return self.grids.shape[0]
+
+
+def group_index(digit: int, size: int) -> int:
+    """Flattened (digit-major) index of a (digit, size) group."""
+    return digit * 2 + size
+
+
+def make_grids(n: int, rng: Optional[np.random.Generator] = None) -> MnistGridDataset:
+    rng = rng or np.random.default_rng(0)
+    grids = np.zeros((n, 1, GRID_SIZE, GRID_SIZE), dtype=np.float32)
+    counts = np.zeros((n, NUM_GROUPS), dtype=np.float32)
+    tile_digits = np.zeros((n, GRID_TILES * GRID_TILES), dtype=np.int64)
+    tile_sizes = np.zeros((n, GRID_TILES * GRID_TILES), dtype=np.int64)
+    for i in range(n):
+        for tile in range(GRID_TILES * GRID_TILES):
+            digit = int(rng.integers(0, 10))
+            size = int(rng.integers(0, 2))
+            r, c = divmod(tile, GRID_TILES)
+            image = render_digit(digit, size, rng)
+            grids[i, 0, r * IMAGE_SIZE:(r + 1) * IMAGE_SIZE,
+                  c * IMAGE_SIZE:(c + 1) * IMAGE_SIZE] = image
+            counts[i, group_index(digit, size)] += 1.0
+            tile_digits[i, tile] = digit
+            tile_sizes[i, tile] = size
+    return MnistGridDataset(grids, counts, tile_digits, tile_sizes)
+
+
+def tiles_of(grid: np.ndarray) -> np.ndarray:
+    """Split one (1, 84, 84) grid into (9, 1, 28, 28) tiles (row-major)."""
+    tiles = grid.reshape(1, GRID_TILES, IMAGE_SIZE, GRID_TILES, IMAGE_SIZE)
+    tiles = tiles.transpose(1, 3, 0, 2, 4)
+    return tiles.reshape(GRID_TILES * GRID_TILES, 1, IMAGE_SIZE, IMAGE_SIZE)

@@ -1,0 +1,34 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def classification_error(predictions: np.ndarray, labels: np.ndarray) -> float:
+    predictions = np.asarray(predictions)
+    labels = np.asarray(labels)
+    if predictions.shape != labels.shape:
+        raise ValueError(f"shape mismatch {predictions.shape} vs {labels.shape}")
+    if predictions.size == 0:
+        return 0.0
+    return float((predictions != labels).mean())
+
+
+def accuracy(predictions: np.ndarray, labels: np.ndarray) -> float:
+    return 1.0 - classification_error(predictions, labels)
+
+
+def mse(predictions: np.ndarray, targets: np.ndarray) -> float:
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    return float(((predictions - targets) ** 2).mean())
+
+
+def precision_at_k(retrieved: np.ndarray, relevant: np.ndarray, k: int) -> float:
+    """Fraction of the top-k retrieved items that are relevant."""
+    top = set(np.asarray(retrieved)[:k].tolist())
+    rel = set(np.asarray(relevant).tolist())
+    if k == 0:
+        return 0.0
+    return len(top & rel) / k

@@ -1,0 +1,75 @@
+"""CNN architectures for the MNISTGrid experiments (paper §3, §5.4, §5.5).
+
+``CNN`` is the tile-level digit/size parser used inside the
+``parse_mnist_grid`` TVF (Listing 4). ``CNNSmall`` is the monolithic
+regression baseline from Experiment 1 — "similar architecture to the CNNs we
+use in the MNISTGrid TVF, and ... similar number of trainable parameters"
+(~850K) — that must learn group-by/count behaviour from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.tcr import nn
+from repro.tcr.tensor import Tensor
+
+
+class CNN(nn.Module):
+    """Small conv net classifying 28x28 single-channel tiles.
+
+    Used as ``digit_parser = CNN(num_classes=10)`` and
+    ``size_parser = CNN(num_classes=2)``.
+    """
+
+    def __init__(self, num_classes: int, in_channels: int = 1, width: int = 8):
+        super().__init__()
+        self.num_classes = num_classes
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, width, kernel_size=3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),                      # 28 -> 14
+            nn.Conv2d(width, width * 2, kernel_size=3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),                      # 14 -> 7
+        )
+        self.classifier = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(width * 2 * 7 * 7, 64),
+            nn.ReLU(),
+            nn.Linear(64, num_classes),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.classifier(self.features(x))
+
+
+class CNNSmall(nn.Module):
+    """Monolithic grid-to-counts regressor (~850K parameters).
+
+    Consumes the whole 84x84 grid and regresses the 20 grouped counts
+    directly, entangling classification with the relational logic — the
+    anti-pattern the paper's neurosymbolic decomposition avoids.
+    """
+
+    def __init__(self, out_dim: int = 20, in_channels: int = 1):
+        super().__init__()
+        self.out_dim = out_dim
+        self.features = nn.Sequential(
+            nn.Conv2d(in_channels, 16, kernel_size=3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),                      # 84 -> 42
+            nn.Conv2d(16, 32, kernel_size=3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),                      # 42 -> 21
+            nn.Conv2d(32, 64, kernel_size=3, padding=1),
+            nn.ReLU(),
+            nn.MaxPool2d(2),                      # 21 -> 10
+        )
+        self.regressor = nn.Sequential(
+            nn.Flatten(),
+            nn.Linear(64 * 10 * 10, 128),
+            nn.ReLU(),
+            nn.Linear(128, out_dim),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.regressor(self.features(x))

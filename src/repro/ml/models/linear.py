@@ -1,0 +1,31 @@
+"""Linear classifiers (LLP experiments use a plain linear model)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcr import nn, ops
+from repro.tcr.tensor import Tensor
+
+
+class LinearClassifier(nn.Module):
+    """``torch.nn.Linear(d, num_classes)`` analogue with an accuracy helper."""
+
+    def __init__(self, in_features: int, num_classes: int = 2):
+        super().__init__()
+        self.linear = nn.Linear(in_features, num_classes)
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self.linear(x)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        from repro.tcr.autograd import no_grad
+        with no_grad():
+            logits = self.linear(Tensor(features.astype(np.float32)))
+        return logits.data.argmax(axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return float((self.predict(features) == labels).mean())
+
+    def error(self, features: np.ndarray, labels: np.ndarray) -> float:
+        return 1.0 - self.accuracy(features, labels)

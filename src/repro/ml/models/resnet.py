@@ -1,0 +1,82 @@
+"""ResNet (BasicBlock) architectures.
+
+``ResNet18`` reproduces the 11.1M-parameter baseline of paper Experiment 1.
+Because this runtime executes convolutions on 2 CPU cores in numpy, the
+benchmark defaults to the reduced ``ResNet8`` (same residual structure, fewer
+blocks/channels) with the full ResNet18 available and unit-tested; the
+scale-down is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.tcr import nn, ops
+from repro.tcr.tensor import Tensor
+
+
+class BasicBlock(nn.Module):
+    def __init__(self, in_channels: int, out_channels: int, stride: int = 1):
+        super().__init__()
+        self.conv1 = nn.Conv2d(in_channels, out_channels, 3, stride=stride,
+                               padding=1, bias=False)
+        self.bn1 = nn.BatchNorm2d(out_channels)
+        self.conv2 = nn.Conv2d(out_channels, out_channels, 3, stride=1,
+                               padding=1, bias=False)
+        self.bn2 = nn.BatchNorm2d(out_channels)
+        if stride != 1 or in_channels != out_channels:
+            self.downsample = nn.Sequential(
+                nn.Conv2d(in_channels, out_channels, 1, stride=stride, bias=False),
+                nn.BatchNorm2d(out_channels),
+            )
+        else:
+            self.downsample = nn.Identity()
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        return ops.relu(out + self.downsample(x))
+
+
+class ResNet(nn.Module):
+    """Configurable BasicBlock ResNet over single- or three-channel images."""
+
+    def __init__(self, blocks_per_stage: List[int], channels: List[int],
+                 num_outputs: int, in_channels: int = 1, stem_pool: bool = True):
+        super().__init__()
+        if len(blocks_per_stage) != len(channels):
+            raise ValueError("blocks_per_stage and channels must align")
+        self.stem = nn.Sequential(
+            nn.Conv2d(in_channels, channels[0], 3, stride=1, padding=1, bias=False),
+            nn.BatchNorm2d(channels[0]),
+            nn.ReLU(),
+        )
+        self.stem_pool = nn.MaxPool2d(2) if stem_pool else nn.Identity()
+        stages = []
+        current = channels[0]
+        for stage_idx, (num_blocks, width) in enumerate(zip(blocks_per_stage, channels)):
+            for block_idx in range(num_blocks):
+                stride = 2 if (block_idx == 0 and stage_idx > 0) else 1
+                stages.append(BasicBlock(current, width, stride=stride))
+                current = width
+        self.stages = nn.Sequential(*stages)
+        self.head = nn.Sequential(
+            nn.AdaptiveAvgPool2d(1),
+            nn.Flatten(),
+            nn.Linear(current, num_outputs),
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = self.stem_pool(self.stem(x))
+        out = self.stages(out)
+        return self.head(out)
+
+
+def ResNet18(num_outputs: int = 20, in_channels: int = 1) -> ResNet:
+    """The paper's 11.1M-parameter baseline configuration."""
+    return ResNet([2, 2, 2, 2], [64, 128, 256, 512], num_outputs, in_channels)
+
+
+def ResNet8(num_outputs: int = 20, in_channels: int = 1) -> ResNet:
+    """Reduced variant used by default in the CPU-bound benchmarks."""
+    return ResNet([1, 1, 1], [16, 32, 64], num_outputs, in_channels)

@@ -1,0 +1,82 @@
+"""Training utilities shared by examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.tcr import nn, optim
+from repro.tcr.autograd import no_grad
+from repro.tcr.nn.module import Module
+from repro.tcr.random import fork_generator
+from repro.tcr.tensor import Tensor
+
+
+def train_classifier(model: Module, features: np.ndarray, labels: np.ndarray,
+                     epochs: int = 20, batch_size: int = 64, lr: float = 1e-2,
+                     seed: int = 0, weight_decay: float = 0.0) -> List[float]:
+    """Supervised cross-entropy training; returns the per-epoch mean loss."""
+    rng = fork_generator(seed)
+    opt = optim.Adam(model.parameters(), lr=lr, weight_decay=weight_decay)
+    loss_fn = nn.CrossEntropyLoss()
+    n = features.shape[0]
+    history: List[float] = []
+    for _ in range(epochs):
+        order = rng.permutation(n)
+        losses = []
+        for start in range(0, n, batch_size):
+            idx = order[start:start + batch_size]
+            x = Tensor(features[idx])
+            y = Tensor(labels[idx].astype(np.int64))
+            opt.zero_grad()
+            loss = loss_fn(model(x), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        history.append(float(np.mean(losses)))
+    return history
+
+
+def train_regressor(model: Module, inputs: np.ndarray, targets: np.ndarray,
+                    iterations: int, batch_size: int = 8, lr: float = 1e-3,
+                    seed: int = 0,
+                    eval_every: Optional[int] = None,
+                    eval_fn: Optional[Callable[[Module], float]] = None
+                    ) -> List[Tuple[int, float]]:
+    """MSE training loop for the pure-DL MNISTGrid baselines.
+
+    Returns [(iteration, eval value)] measured every ``eval_every`` steps.
+    """
+    rng = fork_generator(seed)
+    opt = optim.Adam(model.parameters(), lr=lr)
+    loss_fn = nn.MSELoss()
+    n = inputs.shape[0]
+    curve: List[Tuple[int, float]] = []
+    for step in range(iterations):
+        idx = rng.integers(0, n, size=batch_size)
+        x = Tensor(inputs[idx])
+        y = Tensor(targets[idx])
+        opt.zero_grad()
+        loss = loss_fn(model(x), y)
+        loss.backward()
+        opt.step()
+        if eval_fn is not None and eval_every and (step + 1) % eval_every == 0:
+            model.eval()
+            curve.append((step + 1, eval_fn(model)))
+            model.train()
+    return curve
+
+
+def evaluate_mse(model: Module, inputs: np.ndarray, targets: np.ndarray,
+                 batch_size: int = 32) -> float:
+    """Mean squared error over a dataset (no gradients)."""
+    total, count = 0.0, 0
+    with no_grad():
+        for start in range(0, inputs.shape[0], batch_size):
+            x = Tensor(inputs[start:start + batch_size])
+            pred = model(x).data
+            diff = pred - targets[start:start + batch_size]
+            total += float((diff ** 2).sum())
+            count += diff.size
+    return total / max(count, 1)

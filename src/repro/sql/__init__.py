@@ -1,0 +1,11 @@
+"""``repro.sql`` — SQL front end (parser, binder, logical plans, optimizer).
+
+Stands in for the external Spark/Substrait planners the paper plugs into TDP.
+"""
+
+from repro.sql.binder import Binder, Scope
+from repro.sql.parser import parse
+from repro.sql import bound, logical, nodes
+from repro.sql.optimizer import optimize
+
+__all__ = ["Binder", "Scope", "bound", "logical", "nodes", "optimize", "parse"]

@@ -1,0 +1,622 @@
+"""Semantic analysis: resolve names/types and build logical plans.
+
+The binder consumes parser ASTs plus a catalog and a UDF registry, and emits
+:mod:`repro.sql.logical` plans over :mod:`repro.sql.bound` expressions. It
+implements the paper's two UDF placements:
+
+* scalar UDFs inside expressions (Listing 7's ``image_text_similarity``);
+* table-valued functions in FROM (Listing 4/9) or as the sole projection
+  item (Listing 8's ``SELECT extract_table(images) FROM ...``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import BindError
+from repro.sql import bound as b
+from repro.sql import logical, nodes
+from repro.storage import types as dt
+from repro.storage.catalog import Catalog
+
+# Builtin scalar functions: name -> (min_arity, max_arity, result_type_fn)
+_NUMERIC_BUILTINS = {
+    "ABS": (1, 1, lambda args: args[0].data_type),
+    "SQRT": (1, 1, lambda args: dt.FLOAT),
+    "EXP": (1, 1, lambda args: dt.FLOAT),
+    "LN": (1, 1, lambda args: dt.FLOAT),
+    "LOG": (1, 1, lambda args: dt.FLOAT),
+    "POW": (2, 2, lambda args: dt.FLOAT),
+    "POWER": (2, 2, lambda args: dt.FLOAT),
+    "ROUND": (1, 2, lambda args: dt.FLOAT),
+    "FLOOR": (1, 1, lambda args: dt.FLOAT),
+    "CEIL": (1, 1, lambda args: dt.FLOAT),
+    "LEAST": (2, None, lambda args: args[0].data_type),
+    "GREATEST": (2, None, lambda args: args[0].data_type),
+    "SIGMOID": (1, 1, lambda args: dt.FLOAT),
+}
+_STRING_BUILTINS = {
+    "UPPER": (1, 1, lambda args: dt.STRING),
+    "LOWER": (1, 1, lambda args: dt.STRING),
+    "LENGTH": (1, 1, lambda args: dt.INT),
+}
+BUILTINS = {**_NUMERIC_BUILTINS, **_STRING_BUILTINS}
+
+
+class Scope:
+    """Name resolution environment for one FROM-clause input."""
+
+    def __init__(self, entries: Sequence[Tuple[Optional[str], str, dt.DataType]]):
+        # entries[i] = (qualifier, column name, type); position == plan column index.
+        self.entries = list(entries)
+
+    @staticmethod
+    def from_schema(schema: logical.Schema, qualifier: Optional[str] = None) -> "Scope":
+        return Scope([(qualifier, name, typ) for name, typ in schema])
+
+    def resolve(self, name: str, table: Optional[str] = None) -> Tuple[int, str, dt.DataType]:
+        matches = []
+        for index, (qualifier, col_name, typ) in enumerate(self.entries):
+            if col_name.lower() != name.lower():
+                continue
+            if table is not None and (qualifier or "").lower() != table.lower():
+                continue
+            matches.append((index, col_name, typ))
+        if not matches:
+            available = [f"{q + '.' if q else ''}{n}" for q, n, _ in self.entries]
+            raise BindError(f"unknown column {name!r}; available: {available}")
+        if len(matches) > 1:
+            raise BindError(f"ambiguous column {name!r}; qualify it with a table alias")
+        return matches[0]
+
+    def merged_with(self, other: "Scope") -> "Scope":
+        return Scope(self.entries + other.entries)
+
+    @property
+    def schema(self) -> logical.Schema:
+        return [(name, typ) for _, name, typ in self.entries]
+
+
+def _promote(left: dt.DataType, right: dt.DataType, op: str) -> dt.DataType:
+    if op in ("AND", "OR"):
+        return dt.BOOL
+    if op in ("=", "!=", "<", "<=", ">", ">="):
+        return dt.BOOL
+    if op == "/":
+        return dt.FLOAT
+    if left.kind == "float" or right.kind == "float":
+        return dt.FLOAT
+    if left.kind == "int" and right.kind == "int":
+        return dt.INT
+    if left.kind == "tensor" or right.kind == "tensor":
+        return left if left.kind == "tensor" else right
+    raise BindError(f"operator {op} not defined for types {left} and {right}")
+
+
+def _literal_type(value) -> dt.DataType:
+    if isinstance(value, bool):
+        return dt.BOOL
+    if isinstance(value, int):
+        return dt.INT
+    if isinstance(value, float):
+        return dt.FLOAT
+    if isinstance(value, str):
+        return dt.STRING
+    if value is None:
+        return dt.FLOAT
+    raise BindError(f"unsupported literal {value!r}")
+
+
+def _expr_key(expr: nodes.Expr) -> str:
+    """Canonical text used to match GROUP BY expressions with select items."""
+    return str(expr).lower()
+
+
+def _has_aggregate(expr: nodes.Expr) -> bool:
+    if isinstance(expr, nodes.FuncCall):
+        if expr.name.upper() in b.AGGREGATE_FUNCTIONS:
+            return True
+        return any(_has_aggregate(a) for a in expr.args)
+    if isinstance(expr, nodes.BinaryOp):
+        return _has_aggregate(expr.left) or _has_aggregate(expr.right)
+    if isinstance(expr, nodes.UnaryOp):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, nodes.Case):
+        for cond, value in expr.whens:
+            if _has_aggregate(cond) or _has_aggregate(value):
+                return True
+        return expr.else_ is not None and _has_aggregate(expr.else_)
+    if isinstance(expr, (nodes.Between,)):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, (nodes.InList, nodes.Like, nodes.IsNull)):
+        return _has_aggregate(expr.operand)
+    if isinstance(expr, nodes.Cast):
+        return _has_aggregate(expr.operand)
+    return False
+
+
+def _derive_name(item: nodes.SelectItem, position: int) -> str:
+    if item.alias:
+        return item.alias
+    expr = item.expr
+    if isinstance(expr, nodes.ColumnRef):
+        return expr.name
+    if isinstance(expr, nodes.FuncCall):
+        return str(expr)
+    return f"col{position}"
+
+
+class Binder:
+    """Binds SELECT statements against a catalog and function registry."""
+
+    def __init__(self, catalog: Catalog, functions):
+        self.catalog = catalog
+        self.functions = functions      # object with .lookup(name) -> UdfInfo | None
+
+    # ------------------------------------------------------------------
+    # Entry
+    # ------------------------------------------------------------------
+    def bind(self, stmt: nodes.SelectStmt) -> logical.LogicalPlan:
+        if stmt.from_clause is None:
+            raise BindError("queries without a FROM clause are not supported")
+        plan, scope = self._bind_from(stmt.from_clause)
+
+        if stmt.where is not None:
+            predicate = self._bind_expr(stmt.where, scope, allow_agg=False)
+            if predicate.data_type.kind != "bool":
+                raise BindError(f"WHERE predicate has type {predicate.data_type}, expected bool")
+            plan = logical.Filter(plan, predicate)
+
+        has_aggs = bool(stmt.group_by) or any(_has_aggregate(i.expr) for i in stmt.items) \
+            or (stmt.having is not None and _has_aggregate(stmt.having))
+
+        # Listing 8 pattern: the single projection item is a TVF call.
+        if not has_aggs and len(stmt.items) == 1 and isinstance(stmt.items[0].expr, nodes.FuncCall):
+            udf = self.functions.lookup(stmt.items[0].expr.name)
+            if udf is not None and udf.is_table_valued:
+                plan = self._bind_tvf_projection(stmt.items[0].expr, udf, plan, scope)
+                return self._finish_simple(stmt, plan, projected=True)
+
+        if has_aggs:
+            return self._bind_aggregate_query(stmt, plan, scope)
+        return self._bind_simple_query(stmt, plan, scope)
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _bind_from(self, table_expr: nodes.TableExpr) -> Tuple[logical.LogicalPlan, Scope]:
+        if isinstance(table_expr, nodes.TableRef):
+            table = self.catalog.get(table_expr.name)
+            schema = [(name, typ) for name, typ in table.schema.items()]
+            plan = logical.Scan(table_expr.name, schema)
+            qualifier = table_expr.alias or table_expr.name
+            return plan, Scope.from_schema(schema, qualifier)
+        if isinstance(table_expr, nodes.TableFunction):
+            return self._bind_from_tvf(table_expr)
+        if isinstance(table_expr, nodes.SubqueryRef):
+            plan = self.bind(table_expr.query)
+            return plan, Scope.from_schema(plan.schema, table_expr.alias)
+        if isinstance(table_expr, nodes.Join):
+            return self._bind_join(table_expr)
+        raise BindError(f"unsupported FROM clause element {type(table_expr).__name__}")
+
+    def _bind_from_tvf(self, tvf: nodes.TableFunction) -> Tuple[logical.LogicalPlan, Scope]:
+        udf = self.functions.lookup(tvf.name)
+        if udf is None:
+            raise BindError(f"unknown table function {tvf.name!r}")
+        input_plan = None
+        table_arg_position = None
+        for pos, arg in enumerate(tvf.args):
+            if isinstance(arg, nodes.ColumnRef) and arg.table is None and arg.name in self.catalog:
+                if input_plan is not None:
+                    raise BindError(
+                        f"table function {tvf.name!r} accepts a single table argument"
+                    )
+                table = self.catalog.get(arg.name)
+                schema = [(name, typ) for name, typ in table.schema.items()]
+                input_plan = logical.Scan(arg.name, schema)
+                table_arg_position = pos
+            elif not isinstance(arg, nodes.Literal):
+                raise BindError(
+                    f"table function arguments must be table names or literals, got {arg}"
+                )
+        if input_plan is None:
+            raise BindError(f"table function {tvf.name!r} needs a table argument")
+        # The table argument expands to every column of its table, in order;
+        # literal arguments keep their call positions.
+        arg_exprs: List[b.BoundExpr] = []
+        for pos, arg in enumerate(tvf.args):
+            if pos == table_arg_position:
+                arg_exprs.extend(
+                    b.BColumn(i, name, typ)
+                    for i, (name, typ) in enumerate(input_plan.schema)
+                )
+            else:
+                arg_exprs.append(b.BLiteral(arg.value, _literal_type(arg.value)))
+        schema = list(udf.output_schema)
+        plan = logical.TVFScan(input_plan, udf, arg_exprs, schema)
+        return plan, Scope.from_schema(schema, tvf.alias or tvf.name)
+
+    def _bind_tvf_projection(self, call: nodes.FuncCall, udf, plan: logical.LogicalPlan,
+                             scope: Scope) -> logical.LogicalPlan:
+        arg_exprs = [self._bind_expr(a, scope, allow_agg=False) for a in call.args]
+        return logical.TVFScan(plan, udf, arg_exprs, list(udf.output_schema))
+
+    def _bind_join(self, join: nodes.Join) -> Tuple[logical.LogicalPlan, Scope]:
+        left_plan, left_scope = self._bind_from(join.left)
+        right_plan, right_scope = self._bind_from(join.right)
+        # Right-side columns sit after the left schema in the combined table.
+        offset = len(left_scope.entries)
+        combined = left_scope.merged_with(right_scope)
+        left_keys: List[b.BoundExpr] = []
+        right_keys: List[b.BoundExpr] = []
+        residual: Optional[b.BoundExpr] = None
+        if join.condition is not None:
+            conjuncts = _split_conjuncts(join.condition)
+            leftovers = []
+            for conj in conjuncts:
+                pair = self._try_equi_key(conj, left_scope, right_scope, offset)
+                if pair is not None:
+                    left_keys.append(pair[0])
+                    right_keys.append(pair[1])
+                else:
+                    leftovers.append(conj)
+            for conj in leftovers:
+                pred = self._bind_expr(conj, combined, allow_agg=False)
+                residual = pred if residual is None else b.BBinary("AND", residual, pred, dt.BOOL)
+        elif join.kind != "CROSS":
+            raise BindError("non-cross joins require an ON condition")
+        if join.kind in ("INNER", "LEFT", "RIGHT") and not left_keys and residual is None:
+            raise BindError("join condition did not produce any usable predicate")
+        schema = combined.schema
+        plan = logical.JoinPlan(left_plan, right_plan, join.kind, left_keys, right_keys,
+                                residual, schema)
+        return plan, combined
+
+    def _try_equi_key(self, expr: nodes.Expr, left_scope: Scope, right_scope: Scope,
+                      offset: int):
+        """Recognise ``left_col = right_col`` conjuncts (either orientation)."""
+        if not (isinstance(expr, nodes.BinaryOp) and expr.op == "="):
+            return None
+        sides = []
+        for operand in (expr.left, expr.right):
+            if not isinstance(operand, nodes.ColumnRef):
+                return None
+            sides.append(operand)
+        for first, second in ((sides[0], sides[1]), (sides[1], sides[0])):
+            try:
+                li, lname, ltype = left_scope.resolve(first.name, first.table)
+            except BindError:
+                continue
+            try:
+                ri, rname, rtype = right_scope.resolve(second.name, second.table)
+            except BindError:
+                continue
+            return (b.BColumn(li, lname, ltype), b.BColumn(ri, rname, rtype))
+        return None
+
+    # ------------------------------------------------------------------
+    # Non-aggregate SELECT
+    # ------------------------------------------------------------------
+    def _expand_items(self, stmt: nodes.SelectStmt, scope: Scope) -> List[nodes.SelectItem]:
+        items: List[nodes.SelectItem] = []
+        for item in stmt.items:
+            if isinstance(item.expr, nodes.Star):
+                for qualifier, name, _ in scope.entries:
+                    if item.expr.table and (qualifier or "").lower() != item.expr.table.lower():
+                        continue
+                    items.append(nodes.SelectItem(nodes.ColumnRef(name, qualifier), None))
+            else:
+                items.append(item)
+        return items
+
+    def _bind_simple_query(self, stmt: nodes.SelectStmt, plan: logical.LogicalPlan,
+                           scope: Scope) -> logical.LogicalPlan:
+        items = self._expand_items(stmt, scope)
+        exprs = [self._bind_expr(i.expr, scope, allow_agg=False) for i in items]
+        names = [_derive_name(i, pos) for pos, i in enumerate(items)]
+        out_schema = [(name, expr.data_type) for name, expr in zip(names, exprs)]
+
+        # Bind ORDER BY: prefer output aliases, fall back to hidden columns.
+        sort_keys: List[Tuple[int, bool]] = []
+        hidden = 0
+        for order in stmt.order_by:
+            index = _find_output_index(order.expr, items, names)
+            if index is None:
+                bound_expr = self._bind_expr(order.expr, scope, allow_agg=False)
+                exprs.append(bound_expr)
+                names.append(f"__sort{hidden}")
+                out_schema.append((f"__sort{hidden}", bound_expr.data_type))
+                index = len(exprs) - 1
+                hidden += 1
+            sort_keys.append((index, order.ascending))
+
+        plan = logical.Project(plan, exprs, out_schema)
+        if stmt.distinct:
+            plan = logical.Distinct(plan)
+        if sort_keys:
+            keys = [
+                (b.BColumn(i, out_schema[i][0], out_schema[i][1]), asc)
+                for i, asc in sort_keys
+            ]
+            plan = logical.Sort(plan, keys)
+        if stmt.limit is not None:
+            plan = logical.Limit(plan, stmt.limit, stmt.offset or 0)
+        if hidden:
+            visible = len(out_schema) - hidden
+            final_exprs = [
+                b.BColumn(i, out_schema[i][0], out_schema[i][1]) for i in range(visible)
+            ]
+            plan = logical.Project(plan, final_exprs, out_schema[:visible])
+        return plan
+
+    def _finish_simple(self, stmt: nodes.SelectStmt, plan: logical.LogicalPlan,
+                       projected: bool) -> logical.LogicalPlan:
+        """Apply trailing clauses for the TVF-projection form."""
+        if stmt.distinct:
+            plan = logical.Distinct(plan)
+        if stmt.order_by:
+            scope = Scope.from_schema(plan.schema)
+            keys = []
+            for order in stmt.order_by:
+                expr = self._bind_expr(order.expr, scope, allow_agg=False)
+                keys.append((expr, order.ascending))
+            plan = logical.Sort(plan, keys)
+        if stmt.limit is not None:
+            plan = logical.Limit(plan, stmt.limit, stmt.offset or 0)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Aggregate SELECT
+    # ------------------------------------------------------------------
+    def _bind_aggregate_query(self, stmt: nodes.SelectStmt, plan: logical.LogicalPlan,
+                              scope: Scope) -> logical.LogicalPlan:
+        group_exprs = [self._bind_expr(e, scope, allow_agg=False) for e in stmt.group_by]
+        group_keys = [_expr_key(e) for e in stmt.group_by]
+        group_names = []
+        for ast_expr, bexpr in zip(stmt.group_by, group_exprs):
+            if isinstance(ast_expr, nodes.ColumnRef):
+                group_names.append(ast_expr.name)
+            else:
+                group_names.append(str(ast_expr))
+
+        aggs: List[b.AggSpec] = []
+
+        def post_bind(expr: nodes.Expr) -> b.BoundExpr:
+            return self._bind_post_agg(expr, scope, group_keys, group_exprs,
+                                       group_names, aggs)
+
+        items = self._expand_items(stmt, scope)
+        bound_items = [post_bind(i.expr) for i in items]
+        names = [_derive_name(i, pos) for pos, i in enumerate(items)]
+
+        having_pred = post_bind(stmt.having) if stmt.having is not None else None
+
+        sort_specs: List[Tuple[object, bool]] = []
+        for order in stmt.order_by:
+            index = _find_output_index(order.expr, items, names)
+            if index is not None:
+                sort_specs.append((index, order.ascending))
+            else:
+                sort_specs.append((post_bind(order.expr), order.ascending))
+
+        agg_schema = (
+            [(name, expr.data_type) for name, expr in zip(group_names, group_exprs)]
+            + [(spec.name, spec.data_type) for spec in aggs]
+        )
+        plan = logical.Aggregate(plan, group_exprs, group_names, aggs, agg_schema)
+
+        if having_pred is not None:
+            plan = logical.Filter(plan, having_pred)
+
+        # Post-aggregation projection (select items over agg slots).
+        out_schema = [(name, expr.data_type) for name, expr in zip(names, bound_items)]
+        # Identity also requires output *names* to match (aliases force a
+        # projection so `COUNT(*) AS c` is visible to parent queries).
+        needs_project = not (
+            _is_identity_projection(bound_items, len(agg_schema))
+            and names == [n for n, _ in agg_schema]
+        )
+        hidden = 0
+        final_keys: List[Tuple[b.BoundExpr, bool]] = []
+        proj_exprs = list(bound_items)
+        proj_schema = list(out_schema)
+        for spec, ascending in sort_specs:
+            if isinstance(spec, int):
+                final_keys.append((spec, ascending))
+            else:
+                proj_exprs.append(spec)
+                proj_schema.append((f"__sort{hidden}", spec.data_type))
+                final_keys.append((len(proj_exprs) - 1, ascending))
+                hidden += 1
+                needs_project = True
+        if needs_project or hidden:
+            plan = logical.Project(plan, proj_exprs, proj_schema)
+        if final_keys:
+            keys = [
+                (b.BColumn(i, proj_schema[i][0], proj_schema[i][1]), asc)
+                for i, asc in final_keys
+            ]
+            plan = logical.Sort(plan, keys)
+        if stmt.limit is not None:
+            plan = logical.Limit(plan, stmt.limit, stmt.offset or 0)
+        if hidden:
+            visible = len(proj_schema) - hidden
+            plan = logical.Project(
+                plan,
+                [b.BColumn(i, proj_schema[i][0], proj_schema[i][1]) for i in range(visible)],
+                proj_schema[:visible],
+            )
+        if stmt.distinct:
+            plan = logical.Distinct(plan)
+        return plan
+
+    def _bind_post_agg(self, expr: nodes.Expr, scope: Scope, group_keys: List[str],
+                       group_exprs: List[b.BoundExpr], group_names: List[str],
+                       aggs: List[b.AggSpec]) -> b.BoundExpr:
+        """Bind an expression evaluated over aggregate output slots."""
+        key = _expr_key(expr)
+        if key in group_keys:
+            slot = group_keys.index(key)
+            return b.BColumn(slot, group_names[slot], group_exprs[slot].data_type)
+        if isinstance(expr, nodes.FuncCall) and expr.name.upper() in b.AGGREGATE_FUNCTIONS:
+            spec = self._bind_aggregate_call(expr, scope)
+            # Reuse identical aggregate slots.
+            for i, existing in enumerate(aggs):
+                if str(existing) == str(spec) and existing.distinct == spec.distinct:
+                    return b.BColumn(len(group_keys) + i, existing.name, existing.data_type)
+            aggs.append(spec)
+            slot = len(group_keys) + len(aggs) - 1
+            return b.BColumn(slot, spec.name, spec.data_type)
+        if isinstance(expr, nodes.Literal):
+            return b.BLiteral(expr.value, _literal_type(expr.value))
+        if isinstance(expr, nodes.BinaryOp):
+            left = self._bind_post_agg(expr.left, scope, group_keys, group_exprs,
+                                       group_names, aggs)
+            right = self._bind_post_agg(expr.right, scope, group_keys, group_exprs,
+                                        group_names, aggs)
+            return b.BBinary(expr.op, left, right, _promote(left.data_type, right.data_type, expr.op))
+        if isinstance(expr, nodes.UnaryOp):
+            operand = self._bind_post_agg(expr.operand, scope, group_keys, group_exprs,
+                                          group_names, aggs)
+            out_type = dt.BOOL if expr.op == "NOT" else operand.data_type
+            return b.BUnary(expr.op, operand, out_type)
+        if isinstance(expr, nodes.ColumnRef):
+            raise BindError(
+                f"column {expr.name!r} must appear in GROUP BY or inside an aggregate"
+            )
+        raise BindError(f"unsupported expression in aggregate context: {expr}")
+
+    def _bind_aggregate_call(self, call: nodes.FuncCall, scope: Scope) -> b.AggSpec:
+        func = call.name.upper()
+        if func == "COUNT" and len(call.args) == 1 and isinstance(call.args[0], nodes.Star):
+            return b.AggSpec("COUNT", None, call.distinct, "COUNT(*)", dt.INT)
+        if len(call.args) != 1:
+            raise BindError(f"{func} takes exactly one argument")
+        arg = self._bind_expr(call.args[0], scope, allow_agg=False)
+        if func == "COUNT":
+            out_type = dt.INT
+        elif func == "AVG":
+            out_type = dt.FLOAT
+        elif func == "SUM":
+            out_type = dt.INT if arg.data_type.kind == "int" else dt.FLOAT
+        else:  # MIN / MAX
+            out_type = arg.data_type
+        name = str(nodes.FuncCall(func, call.args, call.distinct))
+        return b.AggSpec(func, arg, call.distinct, name, out_type)
+
+    # ------------------------------------------------------------------
+    # Expression binding
+    # ------------------------------------------------------------------
+    def _bind_expr(self, expr: nodes.Expr, scope: Scope, allow_agg: bool) -> b.BoundExpr:
+        if isinstance(expr, nodes.Literal):
+            return b.BLiteral(expr.value, _literal_type(expr.value))
+        if isinstance(expr, nodes.ColumnRef):
+            index, name, typ = scope.resolve(expr.name, expr.table)
+            return b.BColumn(index, name, typ)
+        if isinstance(expr, nodes.Star):
+            raise BindError("'*' is only valid in COUNT(*) or as a projection")
+        if isinstance(expr, nodes.BinaryOp):
+            left = self._bind_expr(expr.left, scope, allow_agg)
+            right = self._bind_expr(expr.right, scope, allow_agg)
+            return b.BBinary(expr.op, left, right,
+                             _promote(left.data_type, right.data_type, expr.op))
+        if isinstance(expr, nodes.UnaryOp):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            if expr.op == "NOT":
+                if operand.data_type.kind != "bool":
+                    raise BindError(f"NOT requires a boolean operand, got {operand.data_type}")
+                return b.BUnary("NOT", operand, dt.BOOL)
+            return b.BUnary("-", operand, operand.data_type)
+        if isinstance(expr, nodes.FuncCall):
+            return self._bind_call(expr, scope, allow_agg)
+        if isinstance(expr, nodes.Between):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            low = self._bind_expr(expr.low, scope, allow_agg)
+            high = self._bind_expr(expr.high, scope, allow_agg)
+            return b.BBetween(operand, low, high, expr.negated)
+        if isinstance(expr, nodes.InList):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            values = []
+            for value in expr.values:
+                if not isinstance(value, nodes.Literal):
+                    raise BindError("IN lists must contain literals")
+                values.append(value.value)
+            return b.BIn(operand, values, expr.negated)
+        if isinstance(expr, nodes.Like):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            if operand.data_type.kind != "string":
+                raise BindError("LIKE requires a string operand")
+            return b.BLike(operand, expr.pattern, expr.negated)
+        if isinstance(expr, nodes.IsNull):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            return b.BIsNull(operand, expr.negated)
+        if isinstance(expr, nodes.Case):
+            whens = []
+            result_type = None
+            for cond, value in expr.whens:
+                bound_cond = self._bind_expr(cond, scope, allow_agg)
+                bound_value = self._bind_expr(value, scope, allow_agg)
+                if result_type is None:
+                    result_type = bound_value.data_type
+                whens.append((bound_cond, bound_value))
+            else_ = self._bind_expr(expr.else_, scope, allow_agg) if expr.else_ else None
+            return b.BCase(whens, else_, result_type)
+        if isinstance(expr, nodes.Cast):
+            operand = self._bind_expr(expr.operand, scope, allow_agg)
+            return b.BCast(operand, dt.parse_sql_type(expr.type_name))
+        raise BindError(f"unsupported expression {type(expr).__name__}")
+
+    def _bind_call(self, call: nodes.FuncCall, scope: Scope, allow_agg: bool) -> b.BoundExpr:
+        upper = call.name.upper()
+        if upper in b.AGGREGATE_FUNCTIONS:
+            raise BindError(
+                f"aggregate {upper} is not allowed here (only in SELECT/HAVING of a "
+                f"GROUP BY query)"
+            )
+        if upper in BUILTINS:
+            min_arity, max_arity, type_fn = BUILTINS[upper]
+            args = [self._bind_expr(a, scope, allow_agg) for a in call.args]
+            if len(args) < min_arity or (max_arity is not None and len(args) > max_arity):
+                raise BindError(f"{upper} expects {min_arity}"
+                                + (f"..{max_arity}" if max_arity != min_arity else "")
+                                + f" arguments, got {len(args)}")
+            return b.BBuiltin(upper, args, type_fn(args))
+        udf = self.functions.lookup(call.name)
+        if udf is None:
+            raise BindError(f"unknown function {call.name!r}")
+        if udf.is_table_valued:
+            raise BindError(
+                f"table function {call.name!r} cannot be used as a scalar expression"
+            )
+        args = [self._bind_expr(a, scope, allow_agg) for a in call.args]
+        return b.BCall(udf, args, udf.output_schema[0][1])
+
+
+def _split_conjuncts(expr: nodes.Expr) -> List[nodes.Expr]:
+    if isinstance(expr, nodes.BinaryOp) and expr.op == "AND":
+        return _split_conjuncts(expr.left) + _split_conjuncts(expr.right)
+    return [expr]
+
+
+def _find_output_index(expr: nodes.Expr, items: List[nodes.SelectItem],
+                       names: List[str]) -> Optional[int]:
+    """Match an ORDER BY expression against select aliases / item text."""
+    if isinstance(expr, nodes.ColumnRef) and expr.table is None:
+        for i, name in enumerate(names):
+            if name.lower() == expr.name.lower():
+                return i
+    key = _expr_key(expr)
+    for i, item in enumerate(items):
+        if _expr_key(item.expr) == key:
+            return i
+    return None
+
+
+def _is_identity_projection(exprs: List[b.BoundExpr], input_width: int) -> bool:
+    if len(exprs) != input_width:
+        return False
+    for i, expr in enumerate(exprs):
+        if not isinstance(expr, b.BColumn) or expr.index != i:
+            return False
+    return True

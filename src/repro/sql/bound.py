@@ -1,0 +1,260 @@
+"""Bound (name- and type-resolved) expressions.
+
+The binder turns parser ASTs into these nodes: column references become
+input-schema indexes, function names are resolved against the UDF registry
+and builtin table, and every node carries a :class:`~repro.storage.types.DataType`.
+The engine's expression evaluator interprets bound trees against tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+from repro.storage import types as dt
+
+
+class BoundExpr:
+    """Base class; every bound expression has a result ``data_type``."""
+
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        """Set of input column indexes this expression reads."""
+        raise NotImplementedError
+
+    def contains_udf(self) -> bool:
+        return False
+
+
+@dataclasses.dataclass
+class BColumn(BoundExpr):
+    index: int
+    name: str
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        return {self.index}
+
+    def __str__(self):
+        return self.name
+
+
+@dataclasses.dataclass
+class BLiteral(BoundExpr):
+    value: object
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        return set()
+
+    def __str__(self):
+        return repr(self.value)
+
+
+@dataclasses.dataclass
+class BBinary(BoundExpr):
+    op: str
+    left: BoundExpr
+    right: BoundExpr
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        return self.left.references() | self.right.references()
+
+    def contains_udf(self) -> bool:
+        return self.left.contains_udf() or self.right.contains_udf()
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclasses.dataclass
+class BUnary(BoundExpr):
+    op: str
+    operand: BoundExpr
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        return self.operand.references()
+
+    def contains_udf(self) -> bool:
+        return self.operand.contains_udf()
+
+    def __str__(self):
+        return f"({self.op} {self.operand})"
+
+
+@dataclasses.dataclass
+class BCall(BoundExpr):
+    """Scalar UDF call (runs user code on encoded tensors)."""
+    udf: object                       # repro.core.udf.UdfInfo
+    args: List[BoundExpr]
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        refs = set()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+    def contains_udf(self) -> bool:
+        return True
+
+    def __str__(self):
+        return f"{self.udf.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclasses.dataclass
+class BBuiltin(BoundExpr):
+    name: str
+    args: List[BoundExpr]
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        refs = set()
+        for arg in self.args:
+            refs |= arg.references()
+        return refs
+
+    def contains_udf(self) -> bool:
+        return any(a.contains_udf() for a in self.args)
+
+    def __str__(self):
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclasses.dataclass
+class BBetween(BoundExpr):
+    operand: BoundExpr
+    low: BoundExpr
+    high: BoundExpr
+    negated: bool
+    data_type: dt.DataType = dt.BOOL
+
+    def references(self) -> set:
+        return self.operand.references() | self.low.references() | self.high.references()
+
+    def contains_udf(self) -> bool:
+        return self.operand.contains_udf()
+
+
+@dataclasses.dataclass
+class BIn(BoundExpr):
+    operand: BoundExpr
+    values: List[object]
+    negated: bool
+    data_type: dt.DataType = dt.BOOL
+
+    def references(self) -> set:
+        return self.operand.references()
+
+    def contains_udf(self) -> bool:
+        return self.operand.contains_udf()
+
+
+@dataclasses.dataclass
+class BLike(BoundExpr):
+    operand: BoundExpr
+    pattern: str
+    negated: bool
+    data_type: dt.DataType = dt.BOOL
+
+    def references(self) -> set:
+        return self.operand.references()
+
+
+@dataclasses.dataclass
+class BIsNull(BoundExpr):
+    operand: BoundExpr
+    negated: bool
+    data_type: dt.DataType = dt.BOOL
+
+    def references(self) -> set:
+        return self.operand.references()
+
+
+@dataclasses.dataclass
+class BCase(BoundExpr):
+    whens: List[Tuple[BoundExpr, BoundExpr]]
+    else_: Optional[BoundExpr]
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        refs = set()
+        for cond, value in self.whens:
+            refs |= cond.references() | value.references()
+        if self.else_ is not None:
+            refs |= self.else_.references()
+        return refs
+
+    def contains_udf(self) -> bool:
+        if any(c.contains_udf() or v.contains_udf() for c, v in self.whens):
+            return True
+        return self.else_ is not None and self.else_.contains_udf()
+
+
+@dataclasses.dataclass
+class BCast(BoundExpr):
+    operand: BoundExpr
+    data_type: dt.DataType
+
+    def references(self) -> set:
+        return self.operand.references()
+
+    def contains_udf(self) -> bool:
+        return self.operand.contains_udf()
+
+
+AGGREGATE_FUNCTIONS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+
+
+@dataclasses.dataclass
+class AggSpec:
+    """One aggregate slot of a group-by (or global) aggregation."""
+    func: str                          # COUNT / SUM / AVG / MIN / MAX
+    arg: Optional[BoundExpr]           # None for COUNT(*)
+    distinct: bool
+    name: str
+    data_type: dt.DataType
+
+    def __str__(self):
+        inner = "*" if self.arg is None else str(self.arg)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+def remap_columns(expr: BoundExpr, mapping) -> BoundExpr:
+    """Rewrite BColumn indexes through ``mapping`` (dict old->new).
+
+    Used by optimizer rules when expressions move across projections.
+    """
+    if isinstance(expr, BColumn):
+        return BColumn(mapping[expr.index], expr.name, expr.data_type)
+    if isinstance(expr, BLiteral):
+        return expr
+    if isinstance(expr, BBinary):
+        return BBinary(expr.op, remap_columns(expr.left, mapping),
+                       remap_columns(expr.right, mapping), expr.data_type)
+    if isinstance(expr, BUnary):
+        return BUnary(expr.op, remap_columns(expr.operand, mapping), expr.data_type)
+    if isinstance(expr, BCall):
+        return BCall(expr.udf, [remap_columns(a, mapping) for a in expr.args], expr.data_type)
+    if isinstance(expr, BBuiltin):
+        return BBuiltin(expr.name, [remap_columns(a, mapping) for a in expr.args], expr.data_type)
+    if isinstance(expr, BBetween):
+        return BBetween(remap_columns(expr.operand, mapping), remap_columns(expr.low, mapping),
+                        remap_columns(expr.high, mapping), expr.negated)
+    if isinstance(expr, BIn):
+        return BIn(remap_columns(expr.operand, mapping), expr.values, expr.negated)
+    if isinstance(expr, BLike):
+        return BLike(remap_columns(expr.operand, mapping), expr.pattern, expr.negated)
+    if isinstance(expr, BIsNull):
+        return BIsNull(remap_columns(expr.operand, mapping), expr.negated)
+    if isinstance(expr, BCase):
+        whens = [(remap_columns(c, mapping), remap_columns(v, mapping)) for c, v in expr.whens]
+        else_ = remap_columns(expr.else_, mapping) if expr.else_ is not None else None
+        return BCase(whens, else_, expr.data_type)
+    if isinstance(expr, BCast):
+        return BCast(remap_columns(expr.operand, mapping), expr.data_type)
+    raise TypeError(f"cannot remap {type(expr).__name__}")

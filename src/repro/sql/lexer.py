@@ -1,0 +1,121 @@
+"""SQL tokenizer.
+
+Accepts the dialect the paper's listings use, including double-quoted string
+literals (Listing 8 compares ``timestamp = "2022:08:10"``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.errors import SqlSyntaxError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS", "NULL",
+    "TRUE", "FALSE", "ASC", "DESC", "DISTINCT", "JOIN", "INNER", "LEFT",
+    "RIGHT", "OUTER", "CROSS", "ON", "CASE", "WHEN", "THEN", "ELSE", "END",
+    "CAST", "UNION", "ALL", "OFFSET",
+}
+
+SYMBOLS = ["<>", "!=", ">=", "<=", "=", "<", ">", "(", ")", ",", "+", "-",
+           "*", "/", "%", ".", ";"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    kind: str          # KEYWORD, IDENT, NUMBER, STRING, SYMBOL, EOF
+    value: str
+    position: int
+
+    def matches(self, kind: str, value: str = None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(text: str) -> List[Token]:
+    tokens: List[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            newline = text.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch in ("'", '"'):
+            quote = ch
+            j = i + 1
+            parts = []
+            while j < n:
+                if text[j] == quote:
+                    if j + 1 < n and text[j + 1] == quote:  # doubled quote escape
+                        parts.append(quote)
+                        j += 2
+                        continue
+                    break
+                parts.append(text[j])
+                j += 1
+            else:
+                raise SqlSyntaxError(f"unterminated string starting at position {i}")
+            if j >= n:
+                raise SqlSyntaxError(f"unterminated string starting at position {i}")
+            tokens.append(Token("STRING", "".join(parts), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            seen_exp = False
+            while j < n:
+                c = text[j]
+                if c.isdigit():
+                    j += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    j += 1
+                elif c in "eE" and not seen_exp and j > i:
+                    seen_exp = True
+                    j += 1
+                    if j < n and text[j] in "+-":
+                        j += 1
+                else:
+                    break
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        if ch == "`":
+            j = text.find("`", i + 1)
+            if j < 0:
+                raise SqlSyntaxError(f"unterminated quoted identifier at position {i}")
+            tokens.append(Token("IDENT", text[i + 1:j], i))
+            i = j + 1
+            continue
+        matched = False
+        for symbol in SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("SYMBOL", symbol, i))
+                i += len(symbol)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r} at position {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,177 @@
+"""Abstract syntax tree for the SQL dialect."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+
+@dataclasses.dataclass
+class Literal(Expr):
+    value: object            # int, float, str, bool or None
+
+    def __str__(self):
+        if isinstance(self.value, str):
+            return f"'{self.value}'"
+        return str(self.value)
+
+
+@dataclasses.dataclass
+class ColumnRef(Expr):
+    name: str
+    table: Optional[str] = None
+
+    def __str__(self):
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclasses.dataclass
+class Star(Expr):
+    table: Optional[str] = None
+
+    def __str__(self):
+        return f"{self.table}.*" if self.table else "*"
+
+
+@dataclasses.dataclass
+class FuncCall(Expr):
+    name: str
+    args: List[Expr]
+    distinct: bool = False
+
+    def __str__(self):
+        inner = ", ".join(str(a) for a in self.args)
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.name}({prefix}{inner})"
+
+
+@dataclasses.dataclass
+class BinaryOp(Expr):
+    op: str                  # +, -, *, /, %, =, !=, <, <=, >, >=, AND, OR
+    left: Expr
+    right: Expr
+
+    def __str__(self):
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclasses.dataclass
+class UnaryOp(Expr):
+    op: str                  # NOT, -
+    operand: Expr
+
+    def __str__(self):
+        return f"({self.op} {self.operand})"
+
+
+@dataclasses.dataclass
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclasses.dataclass
+class InList(Expr):
+    operand: Expr
+    values: List[Expr]
+    negated: bool = False
+
+
+@dataclasses.dataclass
+class Like(Expr):
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclasses.dataclass
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclasses.dataclass
+class Case(Expr):
+    whens: List[Tuple[Expr, Expr]]
+    else_: Optional[Expr] = None
+
+
+@dataclasses.dataclass
+class Cast(Expr):
+    operand: Expr
+    type_name: str
+
+
+# ----------------------------------------------------------------------
+# FROM-clause nodes
+# ----------------------------------------------------------------------
+
+class TableExpr:
+    """Base class for FROM-clause sources."""
+
+
+@dataclasses.dataclass
+class TableRef(TableExpr):
+    name: str
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass
+class TableFunction(TableExpr):
+    """A table-valued function in FROM, e.g. ``parse_mnist_grid(MNIST_Grid)``.
+
+    Arguments may be table names (resolved against the catalog) or scalar
+    literals passed through to the TVF.
+    """
+    name: str
+    args: List[Expr]
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass
+class SubqueryRef(TableExpr):
+    query: "SelectStmt"
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass
+class Join(TableExpr):
+    left: TableExpr
+    right: TableExpr
+    kind: str                 # INNER, LEFT, CROSS
+    condition: Optional[Expr] = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclasses.dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclasses.dataclass
+class SelectStmt:
+    items: List[SelectItem]
+    from_clause: Optional[TableExpr]
+    where: Optional[Expr] = None
+    group_by: List[Expr] = dataclasses.field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: List[OrderItem] = dataclasses.field(default_factory=list)
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False

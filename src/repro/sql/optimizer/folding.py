@@ -1,0 +1,76 @@
+"""Constant folding over bound expression trees."""
+
+from __future__ import annotations
+
+import math
+
+from repro.sql import bound as b
+from repro.storage import types as dt
+
+_ARITH = {
+    "+": lambda x, y: x + y,
+    "-": lambda x, y: x - y,
+    "*": lambda x, y: x * y,
+    "/": lambda x, y: x / y if y != 0 else math.nan,
+    "%": lambda x, y: x % y if y != 0 else math.nan,
+}
+_COMPARE = {
+    "=": lambda x, y: x == y,
+    "!=": lambda x, y: x != y,
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+}
+
+
+def fold(expr: b.BoundExpr) -> b.BoundExpr:
+    """Recursively evaluate constant sub-expressions."""
+    if isinstance(expr, b.BBinary):
+        left = fold(expr.left)
+        right = fold(expr.right)
+        if isinstance(left, b.BLiteral) and isinstance(right, b.BLiteral):
+            if expr.op in _ARITH and left.value is not None and right.value is not None:
+                value = _ARITH[expr.op](left.value, right.value)
+                return b.BLiteral(value, expr.data_type)
+            if expr.op in _COMPARE and left.value is not None and right.value is not None:
+                return b.BLiteral(bool(_COMPARE[expr.op](left.value, right.value)), dt.BOOL)
+            if expr.op == "AND":
+                return b.BLiteral(bool(left.value) and bool(right.value), dt.BOOL)
+            if expr.op == "OR":
+                return b.BLiteral(bool(left.value) or bool(right.value), dt.BOOL)
+        # Boolean short-circuits with one constant side.
+        if expr.op == "AND":
+            for const, other in ((left, right), (right, left)):
+                if isinstance(const, b.BLiteral):
+                    if const.value:
+                        return other
+                    return b.BLiteral(False, dt.BOOL)
+        if expr.op == "OR":
+            for const, other in ((left, right), (right, left)):
+                if isinstance(const, b.BLiteral):
+                    if not const.value:
+                        return other
+                    return b.BLiteral(True, dt.BOOL)
+        return b.BBinary(expr.op, left, right, expr.data_type)
+    if isinstance(expr, b.BUnary):
+        operand = fold(expr.operand)
+        if isinstance(operand, b.BLiteral) and operand.value is not None:
+            if expr.op == "-":
+                return b.BLiteral(-operand.value, expr.data_type)
+            if expr.op == "NOT":
+                return b.BLiteral(not operand.value, dt.BOOL)
+        return b.BUnary(expr.op, operand, expr.data_type)
+    if isinstance(expr, b.BCall):
+        return b.BCall(expr.udf, [fold(a) for a in expr.args], expr.data_type)
+    if isinstance(expr, b.BBuiltin):
+        return b.BBuiltin(expr.name, [fold(a) for a in expr.args], expr.data_type)
+    if isinstance(expr, b.BBetween):
+        return b.BBetween(fold(expr.operand), fold(expr.low), fold(expr.high), expr.negated)
+    if isinstance(expr, b.BCase):
+        whens = [(fold(c), fold(v)) for c, v in expr.whens]
+        else_ = fold(expr.else_) if expr.else_ is not None else None
+        return b.BCase(whens, else_, expr.data_type)
+    if isinstance(expr, b.BCast):
+        return b.BCast(fold(expr.operand), expr.data_type)
+    return expr

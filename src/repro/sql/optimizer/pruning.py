@@ -1,0 +1,177 @@
+"""Projection pruning: never carry columns an operator does not need.
+
+This matters unusually much in TDP: a pruned column may be a 4-d image
+tensor, so failing to prune drags megabytes of pixels through joins and
+sorts. The rule computes, top-down, the set of input columns each node
+requires, and narrows children by inserting (or tightening) projections.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.sql import bound as b
+from repro.sql import logical
+
+
+def prune(plan: logical.LogicalPlan) -> logical.LogicalPlan:
+    """Entry point: the root must keep its full schema."""
+    new_plan, _ = _prune(plan, set(range(len(plan.schema))))
+    return new_plan
+
+
+def _narrow(plan: logical.LogicalPlan, required: Set[int]
+            ) -> Tuple[logical.LogicalPlan, Dict[int, int]]:
+    """Wrap ``plan`` in a Project keeping only ``required`` columns."""
+    kept = sorted(required)
+    if len(kept) == len(plan.schema):
+        return plan, {i: i for i in kept}
+    mapping = {old: new for new, old in enumerate(kept)}
+    exprs = [b.BColumn(old, plan.schema[old][0], plan.schema[old][1]) for old in kept]
+    schema = [plan.schema[old] for old in kept]
+    return logical.Project(plan, exprs, schema), mapping
+
+
+def _prune(plan: logical.LogicalPlan, required: Set[int]
+           ) -> Tuple[logical.LogicalPlan, Dict[int, int]]:
+    """Return a plan producing at least ``required`` columns and the mapping
+    old-output-index -> new-output-index."""
+
+    if isinstance(plan, logical.Scan):
+        return _narrow(plan, required)
+
+    if isinstance(plan, logical.Project):
+        kept = sorted(required)
+        needed_inputs: Set[int] = set()
+        for idx in kept:
+            needed_inputs |= plan.exprs[idx].references()
+        if not needed_inputs:
+            # Constant-only projection: keep one narrow column so the child
+            # still carries the row count.
+            needed_inputs = {_cheapest_column(plan.input)}
+        child, child_map = _prune(plan.input, needed_inputs)
+        new_exprs = [b.remap_columns(plan.exprs[idx], child_map) for idx in kept]
+        new_schema = [plan.schema[idx] for idx in kept]
+        mapping = {old: new for new, old in enumerate(kept)}
+        return logical.Project(child, new_exprs, new_schema), mapping
+
+    if isinstance(plan, logical.Filter):
+        needed = set(required) | plan.predicate.references()
+        child, child_map = _prune(plan.input, needed)
+        predicate = b.remap_columns(plan.predicate, child_map)
+        filtered = logical.Filter(child, predicate)
+        # The filter output schema = child schema; narrow to required.
+        remapped_required = {child_map[r] for r in required}
+        narrowed, narrow_map = _narrow(filtered, remapped_required)
+        return narrowed, {r: narrow_map[child_map[r]] for r in required}
+
+    if isinstance(plan, logical.TVFScan):
+        needed_inputs: Set[int] = set()
+        for expr in plan.arg_exprs:
+            needed_inputs |= expr.references()
+        if not needed_inputs:
+            needed_inputs = {_cheapest_column(plan.input)}
+        child, child_map = _prune(plan.input, needed_inputs)
+        arg_exprs = [b.remap_columns(e, child_map) for e in plan.arg_exprs]
+        new_plan = logical.TVFScan(child, plan.udf, arg_exprs, plan.schema)
+        narrowed, narrow_map = _narrow(new_plan, required)
+        return narrowed, {r: narrow_map[r] for r in required}
+
+    if isinstance(plan, logical.Aggregate):
+        needed_inputs: Set[int] = set()
+        for expr in plan.group_exprs:
+            needed_inputs |= expr.references()
+        for spec in plan.aggregates:
+            if spec.arg is not None:
+                needed_inputs |= spec.arg.references()
+        if not needed_inputs:
+            # COUNT(*)-only aggregate still needs one column for row counting.
+            needed_inputs = {_cheapest_column(plan.input)}
+        child, child_map = _prune(plan.input, needed_inputs)
+        group_exprs = [b.remap_columns(e, child_map) for e in plan.group_exprs]
+        aggs = [
+            b.AggSpec(s.func, b.remap_columns(s.arg, child_map) if s.arg is not None else None,
+                      s.distinct, s.name, s.data_type)
+            for s in plan.aggregates
+        ]
+        new_plan = logical.Aggregate(child, group_exprs, plan.group_names, aggs, plan.schema)
+        narrowed, narrow_map = _narrow(new_plan, required)
+        return narrowed, {r: narrow_map[r] for r in required}
+
+    if isinstance(plan, logical.JoinPlan):
+        left_width = len(plan.left.schema)
+        needed_left: Set[int] = set()
+        needed_right: Set[int] = set()
+        for r in required:
+            (needed_left if r < left_width else needed_right).add(
+                r if r < left_width else r - left_width
+            )
+        for key in plan.left_keys:
+            needed_left |= key.references()
+        for key in plan.right_keys:
+            needed_right |= key.references()
+        if plan.residual is not None:
+            for r in plan.residual.references():
+                (needed_left if r < left_width else needed_right).add(
+                    r if r < left_width else r - left_width
+                )
+        if not needed_left:
+            needed_left = {_cheapest_column(plan.left)}
+        if not needed_right:
+            needed_right = {_cheapest_column(plan.right)}
+        left, left_map = _prune(plan.left, needed_left)
+        right, right_map = _prune(plan.right, needed_right)
+        new_left_width = len(left.schema)
+        combined_map = {old: left_map[old] for old in needed_left}
+        for old in needed_right:
+            combined_map[old + left_width] = right_map[old] + new_left_width
+        left_keys = [b.remap_columns(k, left_map) for k in plan.left_keys]
+        right_keys = [b.remap_columns(k, right_map) for k in plan.right_keys]
+        residual = (b.remap_columns(plan.residual, combined_map)
+                    if plan.residual is not None else None)
+        schema = [plan.schema[old] for old in sorted(combined_map, key=combined_map.get)]
+        new_plan = logical.JoinPlan(left, right, plan.kind, left_keys, right_keys,
+                                    residual, schema)
+        remapped_required = {combined_map[r] for r in required}
+        narrowed, narrow_map = _narrow(new_plan, remapped_required)
+        return narrowed, {r: narrow_map[combined_map[r]] for r in required}
+
+    if isinstance(plan, logical.Sort):
+        needed = set(required)
+        for expr, _ in plan.keys:
+            needed |= expr.references()
+        child, child_map = _prune(plan.input, needed)
+        keys = [(b.remap_columns(e, child_map), asc) for e, asc in plan.keys]
+        sorted_plan = logical.Sort(child, keys)
+        remapped_required = {child_map[r] for r in required}
+        narrowed, narrow_map = _narrow(sorted_plan, remapped_required)
+        return narrowed, {r: narrow_map[child_map[r]] for r in required}
+
+    if isinstance(plan, logical.Limit):
+        child, child_map = _prune(plan.input, required)
+        return logical.Limit(child, plan.count, plan.offset), child_map
+
+    if isinstance(plan, logical.Distinct):
+        # Distinct semantics depend on *all* columns; keep the full schema.
+        child, child_map = _prune(plan.input, set(range(len(plan.input.schema))))
+        return logical.Distinct(child), child_map
+
+    raise TypeError(f"cannot prune {type(plan).__name__}")
+
+
+def _cheapest_column(plan: logical.LogicalPlan) -> int:
+    """Pick the narrowest column to retain for pure row counting."""
+    best = 0
+    best_cost = None
+    for i, (_, typ) in enumerate(plan.schema):
+        cost = 1
+        if typ.kind == "tensor":
+            size = 1
+            for n in typ.row_shape:
+                size *= n
+            cost = size
+        elif typ.kind == "prob":
+            cost = typ.num_classes or 1
+        if best_cost is None or cost < best_cost:
+            best, best_cost = i, cost
+    return best

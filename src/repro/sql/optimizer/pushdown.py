@@ -1,0 +1,119 @@
+"""Predicate pushdown and predicate cost reordering.
+
+Two effects matter for the paper's workloads:
+
+* filters sink below projections/joins/sorts so expensive downstream
+  operators (neural TVF conversion above all — Fig 3-left) see fewer rows;
+* within one Filter, cheap scalar conjuncts run before UDF-bearing ones, so
+  e.g. a timestamp filter prunes rows before CLIP similarity is evaluated.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sql import bound as b
+from repro.sql import logical
+from repro.storage import types as dt
+
+
+def split_conjuncts(expr: b.BoundExpr) -> List[b.BoundExpr]:
+    if isinstance(expr, b.BBinary) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def combine(conjuncts: List[b.BoundExpr]) -> Optional[b.BoundExpr]:
+    if not conjuncts:
+        return None
+    result = conjuncts[0]
+    for conj in conjuncts[1:]:
+        result = b.BBinary("AND", result, conj, dt.BOOL)
+    return result
+
+
+def predicate_cost(expr: b.BoundExpr) -> int:
+    """Heuristic evaluation cost: UDFs dominate everything else."""
+    if expr.contains_udf():
+        return 1000
+    return 1 + len(expr.references())
+
+
+def _project_passthrough(project: logical.Project) -> dict:
+    """Map output index -> input index for pure column pass-throughs."""
+    mapping = {}
+    for out_idx, expr in enumerate(project.exprs):
+        if isinstance(expr, b.BColumn):
+            mapping[out_idx] = expr.index
+    return mapping
+
+
+def push_down(plan: logical.LogicalPlan) -> logical.LogicalPlan:
+    """Recursively push filters toward the leaves."""
+    plan = plan.with_children([push_down(c) for c in plan.children()])
+    if not isinstance(plan, logical.Filter):
+        return plan
+
+    child = plan.input
+    conjuncts = split_conjuncts(plan.predicate)
+
+    if isinstance(child, logical.Filter):
+        merged = combine(conjuncts + split_conjuncts(child.predicate))
+        return push_down(logical.Filter(child.input, merged))
+
+    if isinstance(child, logical.Project):
+        passthrough = _project_passthrough(child)
+        pushable, rest = [], []
+        for conj in conjuncts:
+            refs = conj.references()
+            if refs <= set(passthrough.keys()):
+                pushable.append(b.remap_columns(conj, passthrough))
+            else:
+                rest.append(conj)
+        if pushable:
+            new_child = logical.Project(
+                push_down(logical.Filter(child.input, combine(pushable))),
+                child.exprs, child.schema,
+            )
+            if rest:
+                return logical.Filter(new_child, combine(rest))
+            return new_child
+        return _reorder(plan)
+
+    if isinstance(child, logical.Sort):
+        inner = push_down(logical.Filter(child.input, combine(conjuncts)))
+        return logical.Sort(inner, child.keys)
+
+    if isinstance(child, logical.JoinPlan) and child.kind in ("INNER", "CROSS"):
+        left_width = len(child.left.schema)
+        left_conj, right_conj, rest = [], [], []
+        for conj in conjuncts:
+            refs = conj.references()
+            if refs and all(r < left_width for r in refs):
+                left_conj.append(conj)
+            elif refs and all(r >= left_width for r in refs):
+                mapping = {r: r - left_width for r in refs}
+                right_conj.append(b.remap_columns(conj, mapping))
+            else:
+                rest.append(conj)
+        new_left = child.left
+        new_right = child.right
+        if left_conj:
+            new_left = push_down(logical.Filter(new_left, combine(left_conj)))
+        if right_conj:
+            new_right = push_down(logical.Filter(new_right, combine(right_conj)))
+        new_join = logical.JoinPlan(new_left, new_right, child.kind, child.left_keys,
+                                    child.right_keys, child.residual, child.schema)
+        if rest:
+            return _reorder(logical.Filter(new_join, combine(rest)))
+        return new_join
+
+    return _reorder(plan)
+
+
+def _reorder(plan: logical.Filter) -> logical.Filter:
+    """Sort a filter's conjuncts so cheap predicates evaluate first."""
+    conjuncts = split_conjuncts(plan.predicate)
+    if len(conjuncts) > 1:
+        conjuncts = sorted(conjuncts, key=predicate_cost)
+    return logical.Filter(plan.input, combine(conjuncts))

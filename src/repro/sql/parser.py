@@ -1,0 +1,357 @@
+"""Recursive-descent SQL parser producing :mod:`repro.sql.nodes` ASTs.
+
+This replaces the external Spark/Substrait front ends the paper plugs in:
+TDP only needs *a* parser that yields the plan shapes the engine compiles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SqlSyntaxError
+from repro.sql import nodes
+from repro.sql.lexer import Token, tokenize
+
+
+class Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def _check(self, kind: str, value: str = None) -> bool:
+        return self._peek().matches(kind, value)
+
+    def _accept(self, kind: str, value: str = None) -> Optional[Token]:
+        if self._check(kind, value):
+            return self._advance()
+        return None
+
+    def _expect(self, kind: str, value: str = None) -> Token:
+        token = self._peek()
+        if not token.matches(kind, value):
+            expected = value or kind
+            raise SqlSyntaxError(
+                f"expected {expected} but found {token.value or 'end of input'!r} "
+                f"at position {token.position} in query: {self.text!r}"
+            )
+        return self._advance()
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> nodes.SelectStmt:
+        stmt = self._select_stmt()
+        self._accept("SYMBOL", ";")
+        if not self._check("EOF"):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"unexpected trailing input {token.value!r} at position {token.position}"
+            )
+        return stmt
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _select_stmt(self) -> nodes.SelectStmt:
+        self._expect("KEYWORD", "SELECT")
+        distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+        items = [self._select_item()]
+        while self._accept("SYMBOL", ","):
+            items.append(self._select_item())
+
+        from_clause = None
+        if self._accept("KEYWORD", "FROM"):
+            from_clause = self._table_expr()
+
+        where = self._expr() if self._accept("KEYWORD", "WHERE") else None
+
+        group_by: List[nodes.Expr] = []
+        if self._accept("KEYWORD", "GROUP"):
+            self._expect("KEYWORD", "BY")
+            group_by.append(self._expr())
+            while self._accept("SYMBOL", ","):
+                group_by.append(self._expr())
+
+        having = self._expr() if self._accept("KEYWORD", "HAVING") else None
+
+        order_by: List[nodes.OrderItem] = []
+        if self._accept("KEYWORD", "ORDER"):
+            self._expect("KEYWORD", "BY")
+            order_by.append(self._order_item())
+            while self._accept("SYMBOL", ","):
+                order_by.append(self._order_item())
+
+        limit = offset = None
+        if self._accept("KEYWORD", "LIMIT"):
+            limit = int(self._expect("NUMBER").value)
+        if self._accept("KEYWORD", "OFFSET"):
+            offset = int(self._expect("NUMBER").value)
+
+        return nodes.SelectStmt(
+            items=items, from_clause=from_clause, where=where, group_by=group_by,
+            having=having, order_by=order_by, limit=limit, offset=offset,
+            distinct=distinct,
+        )
+
+    def _select_item(self) -> nodes.SelectItem:
+        expr = self._expr()
+        alias = None
+        if self._accept("KEYWORD", "AS"):
+            alias = self._expect_name()
+        elif self._check("IDENT"):
+            alias = self._advance().value
+        return nodes.SelectItem(expr=expr, alias=alias)
+
+    def _order_item(self) -> nodes.OrderItem:
+        expr = self._expr()
+        ascending = True
+        if self._accept("KEYWORD", "DESC"):
+            ascending = False
+        else:
+            self._accept("KEYWORD", "ASC")
+        return nodes.OrderItem(expr=expr, ascending=ascending)
+
+    def _expect_name(self) -> str:
+        token = self._peek()
+        if token.kind == "IDENT":
+            return self._advance().value
+        raise SqlSyntaxError(
+            f"expected identifier, found {token.value!r} at position {token.position}"
+        )
+
+    # ------------------------------------------------------------------
+    # FROM clause
+    # ------------------------------------------------------------------
+    def _table_expr(self) -> nodes.TableExpr:
+        left = self._table_primary()
+        while True:
+            kind = None
+            if self._accept("KEYWORD", "CROSS"):
+                self._expect("KEYWORD", "JOIN")
+                kind = "CROSS"
+            elif self._accept("KEYWORD", "INNER"):
+                self._expect("KEYWORD", "JOIN")
+                kind = "INNER"
+            elif self._check("KEYWORD", "LEFT") or self._check("KEYWORD", "RIGHT"):
+                side = self._advance().value
+                self._accept("KEYWORD", "OUTER")
+                self._expect("KEYWORD", "JOIN")
+                kind = side
+            elif self._accept("KEYWORD", "JOIN"):
+                kind = "INNER"
+            else:
+                break
+            right = self._table_primary()
+            condition = None
+            if kind != "CROSS":
+                self._expect("KEYWORD", "ON")
+                condition = self._expr()
+            left = nodes.Join(left=left, right=right, kind=kind, condition=condition)
+        return left
+
+    def _table_primary(self) -> nodes.TableExpr:
+        if self._accept("SYMBOL", "("):
+            stmt = self._select_stmt()
+            self._expect("SYMBOL", ")")
+            alias = self._table_alias()
+            return nodes.SubqueryRef(query=stmt, alias=alias)
+        name = self._expect_name()
+        if self._accept("SYMBOL", "("):
+            args: List[nodes.Expr] = []
+            if not self._check("SYMBOL", ")"):
+                args.append(self._expr())
+                while self._accept("SYMBOL", ","):
+                    args.append(self._expr())
+            self._expect("SYMBOL", ")")
+            return nodes.TableFunction(name=name, args=args, alias=self._table_alias())
+        return nodes.TableRef(name=name, alias=self._table_alias())
+
+    def _table_alias(self) -> Optional[str]:
+        if self._accept("KEYWORD", "AS"):
+            return self._expect_name()
+        if self._check("IDENT"):
+            return self._advance().value
+        return None
+
+    # ------------------------------------------------------------------
+    # Expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def _expr(self) -> nodes.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> nodes.Expr:
+        left = self._and_expr()
+        while self._accept("KEYWORD", "OR"):
+            left = nodes.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> nodes.Expr:
+        left = self._not_expr()
+        while self._accept("KEYWORD", "AND"):
+            left = nodes.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> nodes.Expr:
+        if self._accept("KEYWORD", "NOT"):
+            return nodes.UnaryOp("NOT", self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> nodes.Expr:
+        left = self._additive()
+        token = self._peek()
+        if token.kind == "SYMBOL" and token.value in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            op = self._advance().value
+            if op == "<>":
+                op = "!="
+            return nodes.BinaryOp(op, left, self._additive())
+        negated = False
+        if self._check("KEYWORD", "NOT") and self._peek(1).value in ("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._accept("KEYWORD", "IS"):
+            is_negated = bool(self._accept("KEYWORD", "NOT"))
+            self._expect("KEYWORD", "NULL")
+            return nodes.IsNull(left, negated=is_negated)
+        if self._accept("KEYWORD", "IN"):
+            self._expect("SYMBOL", "(")
+            values = [self._expr()]
+            while self._accept("SYMBOL", ","):
+                values.append(self._expr())
+            self._expect("SYMBOL", ")")
+            return nodes.InList(left, values, negated=negated)
+        if self._accept("KEYWORD", "BETWEEN"):
+            low = self._additive()
+            self._expect("KEYWORD", "AND")
+            high = self._additive()
+            return nodes.Between(left, low, high, negated=negated)
+        if self._accept("KEYWORD", "LIKE"):
+            pattern = self._expect("STRING").value
+            return nodes.Like(left, pattern, negated=negated)
+        return left
+
+    def _additive(self) -> nodes.Expr:
+        left = self._multiplicative()
+        while self._check("SYMBOL", "+") or self._check("SYMBOL", "-"):
+            op = self._advance().value
+            left = nodes.BinaryOp(op, left, self._multiplicative())
+        return left
+
+    def _multiplicative(self) -> nodes.Expr:
+        left = self._unary()
+        while (self._check("SYMBOL", "*") or self._check("SYMBOL", "/")
+               or self._check("SYMBOL", "%")):
+            # `*` only binds as multiplication when a value expression follows
+            # (distinguishes `a * b` from the projection/COUNT star).
+            if self._check("SYMBOL", "*") and not self._starts_expression(self._peek(1)):
+                break
+            op = self._advance().value
+            left = nodes.BinaryOp(op, left, self._unary())
+        return left
+
+    @staticmethod
+    def _starts_expression(token) -> bool:
+        if token.kind in ("NUMBER", "STRING", "IDENT"):
+            return True
+        if token.kind == "SYMBOL" and token.value in ("(", "-", "+"):
+            return True
+        if token.kind == "KEYWORD" and token.value in ("TRUE", "FALSE", "NULL", "CASE", "CAST"):
+            return True
+        return False
+
+    def _unary(self) -> nodes.Expr:
+        if self._accept("SYMBOL", "-"):
+            return nodes.UnaryOp("-", self._unary())
+        if self._accept("SYMBOL", "+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> nodes.Expr:
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return nodes.Literal(float(text))
+            return nodes.Literal(int(text))
+        if token.kind == "STRING":
+            self._advance()
+            return nodes.Literal(token.value)
+        if token.matches("KEYWORD", "TRUE"):
+            self._advance()
+            return nodes.Literal(True)
+        if token.matches("KEYWORD", "FALSE"):
+            self._advance()
+            return nodes.Literal(False)
+        if token.matches("KEYWORD", "NULL"):
+            self._advance()
+            return nodes.Literal(None)
+        if token.matches("KEYWORD", "CASE"):
+            return self._case_expr()
+        if token.matches("KEYWORD", "CAST"):
+            self._advance()
+            self._expect("SYMBOL", "(")
+            operand = self._expr()
+            self._expect("KEYWORD", "AS")
+            type_name = self._expect_name()
+            self._expect("SYMBOL", ")")
+            return nodes.Cast(operand, type_name)
+        if token.matches("SYMBOL", "*"):
+            self._advance()
+            return nodes.Star()
+        if token.matches("SYMBOL", "("):
+            self._advance()
+            expr = self._expr()
+            self._expect("SYMBOL", ")")
+            return expr
+        if token.kind == "IDENT":
+            name = self._advance().value
+            if self._accept("SYMBOL", "("):
+                distinct = bool(self._accept("KEYWORD", "DISTINCT"))
+                args: List[nodes.Expr] = []
+                if not self._check("SYMBOL", ")"):
+                    args.append(self._expr())
+                    while self._accept("SYMBOL", ","):
+                        args.append(self._expr())
+                self._expect("SYMBOL", ")")
+                return nodes.FuncCall(name=name, args=args, distinct=distinct)
+            if self._accept("SYMBOL", "."):
+                if self._accept("SYMBOL", "*"):
+                    return nodes.Star(table=name)
+                column = self._expect_name()
+                return nodes.ColumnRef(name=column, table=name)
+            return nodes.ColumnRef(name=name)
+        raise SqlSyntaxError(
+            f"unexpected token {token.value or 'end of input'!r} at position "
+            f"{token.position} in query: {self.text!r}"
+        )
+
+    def _case_expr(self) -> nodes.Expr:
+        self._expect("KEYWORD", "CASE")
+        whens = []
+        while self._accept("KEYWORD", "WHEN"):
+            condition = self._expr()
+            self._expect("KEYWORD", "THEN")
+            whens.append((condition, self._expr()))
+        if not whens:
+            raise SqlSyntaxError("CASE requires at least one WHEN clause")
+        else_ = self._expr() if self._accept("KEYWORD", "ELSE") else None
+        self._expect("KEYWORD", "END")
+        return nodes.Case(whens=whens, else_=else_)
+
+
+def parse(text: str) -> nodes.SelectStmt:
+    """Parse a SQL SELECT statement into an AST."""
+    return Parser(text).parse()

@@ -1,0 +1,48 @@
+"""Catalog: the session's registry of named tables."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import CatalogError
+from repro.storage.table import Table
+
+
+class Catalog:
+    """Case-insensitive table registry (re-registration replaces, which the
+    paper's training loop relies on when it re-registers ``MNIST_Grid`` each
+    iteration)."""
+
+    def __init__(self):
+        self._tables: Dict[str, Table] = {}
+        self._display: Dict[str, str] = {}
+
+    def register(self, name: str, table: Table, replace: bool = True) -> None:
+        key = name.lower()
+        if not replace and key in self._tables:
+            raise CatalogError(f"table {name!r} already registered")
+        self._tables[key] = table
+        self._display[key] = name
+
+    def get(self, name: str) -> Table:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"unknown table {name!r}; registered: {self.names()}")
+        return self._tables[key]
+
+    def drop(self, name: str) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"cannot drop unknown table {name!r}")
+        del self._tables[key]
+        del self._display[key]
+
+    def names(self) -> List[str]:
+        return [self._display[k] for k in self._tables]
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def clear(self) -> None:
+        self._tables.clear()
+        self._display.clear()

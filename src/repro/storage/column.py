@@ -1,0 +1,122 @@
+"""Columns: named encoded tensors with logical types.
+
+Paper §2 (Storage Model): "TDP stores relational data in a columnar format,
+where each column is a PyTorch tensor" — including 2-d tensors (a vector per
+row), 3-d (grayscale images) and 4-d (RGB images) columns.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage import types as dt
+from repro.storage.encodings import (
+    DictionaryEncoding,
+    EncodedTensor,
+    Encoding,
+    PlainEncoding,
+    ProbabilityEncoding,
+    RunLengthEncoding,
+)
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+class Column:
+    """A named column stored as an :class:`EncodedTensor`."""
+
+    __slots__ = ("name", "encoded")
+
+    def __init__(self, name: str, encoded: EncodedTensor):
+        self.name = name
+        self.encoded = encoded
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_values(name: str, values, device=None) -> "Column":
+        """Build a column, picking the natural encoding for the value kind.
+
+        Strings → order-preserving dictionary; everything numeric/bool (any
+        rank) → plain. Existing tensors/encoded tensors pass through.
+        """
+        if isinstance(values, Column):
+            return Column(name, values.encoded)
+        if isinstance(values, EncodedTensor):
+            return Column(name, values.to(device) if device is not None else values)
+        if isinstance(values, Tensor):
+            return Column(name, EncodedTensor(values.to(device=device), PlainEncoding()))
+        array = np.asarray(values)
+        if array.dtype.kind in ("U", "S", "O"):
+            return Column(name, DictionaryEncoding.encode(list(array), device=device))
+        return Column(name, PlainEncoding.encode(array, device=device))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tensor(self) -> Tensor:
+        return self.encoded.tensor
+
+    @property
+    def encoding(self) -> Encoding:
+        return self.encoded.encoding
+
+    @property
+    def num_rows(self) -> int:
+        return self.encoded.num_rows
+
+    @property
+    def device(self):
+        return self.encoded.device
+
+    @property
+    def data_type(self) -> dt.DataType:
+        enc = self.encoding
+        if isinstance(enc, DictionaryEncoding):
+            return dt.STRING
+        if isinstance(enc, ProbabilityEncoding):
+            return dt.prob_type(enc.num_classes)
+        if isinstance(enc, RunLengthEncoding):
+            return dt.dtype_to_data_type(self.tensor.dtype)
+        row_shape = self.tensor.shape[1:]
+        if row_shape:
+            return dt.tensor_type(row_shape)
+        return dt.dtype_to_data_type(self.tensor.dtype)
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def decode(self) -> np.ndarray:
+        """Logical values as a numpy array (strings for dictionary columns)."""
+        return self.encoded.decode()
+
+    def materialize(self) -> "Column":
+        """Decompress RLE columns to plain (other encodings pass through)."""
+        if isinstance(self.encoding, RunLengthEncoding):
+            return Column(self.name, PlainEncoding.encode(self.decode(), device=self.device))
+        return self
+
+    def take(self, indices) -> "Column":
+        """Row-gather preserving the encoding (differentiable for float data)."""
+        col = self.materialize()
+        idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
+        gathered = ops.getitem(col.tensor, idx)
+        return Column(self.name, EncodedTensor(gathered, col.encoding))
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self.encoded)
+
+    def to(self, device) -> "Column":
+        return Column(self.name, self.encoded.to(device))
+
+    def with_tensor(self, tensor: Tensor) -> "Column":
+        """Replace the carrier tensor, keeping name and encoding."""
+        return Column(self.name, EncodedTensor(tensor, self.encoding))
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, type={self.data_type}, rows={self.num_rows})"

@@ -1,0 +1,17 @@
+"""Column encodings (paper §2, "Data Encoding")."""
+
+from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.storage.encodings.dictionary import DictionaryEncoding
+from repro.storage.encodings.plain import PlainEncoding
+from repro.storage.encodings.probability import PEEncoding, ProbabilityEncoding
+from repro.storage.encodings.runlength import RunLengthEncoding
+
+__all__ = [
+    "DictionaryEncoding",
+    "EncodedTensor",
+    "Encoding",
+    "PEEncoding",
+    "PlainEncoding",
+    "ProbabilityEncoding",
+    "RunLengthEncoding",
+]

@@ -1,0 +1,74 @@
+"""Encoding metadata attached to stored tensors.
+
+The paper (§2, Data Encoding): "TDP does not use PyTorch tensors directly,
+but rather provides its own *encoded tensors* abstraction, i.e., tensors with
+attached metadata describing how data is stored in them." Operators consult
+the encoding to pick an execution strategy (e.g. string comparisons run on
+dictionary codes; group-by on PE columns uses soft aggregation).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.tcr.tensor import Tensor
+
+
+class Encoding:
+    """Base class for column encodings."""
+
+    name = "base"
+
+    def decode(self, tensor: Tensor):
+        """Return the logical values stored in ``tensor`` (numpy array)."""
+        raise NotImplementedError
+
+    def validate(self, tensor: Tensor) -> None:
+        """Check that ``tensor`` is a structurally valid carrier for this encoding."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+    def __eq__(self, other) -> bool:
+        return type(self) is type(other)
+
+    def __hash__(self) -> int:
+        return hash(type(self))
+
+
+class EncodedTensor:
+    """A tensor plus its encoding — the storage engine's unit of data.
+
+    This is deliberately a thin pair: the tensor flows through TCR operators
+    (so autograd and device placement keep working), while the encoding rides
+    along as metadata that engine operators can dispatch on.
+    """
+
+    __slots__ = ("tensor", "encoding")
+
+    def __init__(self, tensor: Tensor, encoding: Encoding):
+        if not isinstance(tensor, Tensor):
+            raise EncodingError(f"EncodedTensor expects a Tensor, got {type(tensor).__name__}")
+        encoding.validate(tensor)
+        self.tensor = tensor
+        self.encoding = encoding
+
+    @property
+    def num_rows(self) -> int:
+        return self.tensor.shape[0] if self.tensor.ndim else 1
+
+    @property
+    def device(self):
+        return self.tensor.device
+
+    def decode(self):
+        return self.encoding.decode(self.tensor)
+
+    def to(self, device) -> "EncodedTensor":
+        return EncodedTensor(self.tensor.to(device=device), self.encoding)
+
+    def __repr__(self) -> str:
+        return f"EncodedTensor(shape={self.tensor.shape}, encoding={self.encoding!r})"

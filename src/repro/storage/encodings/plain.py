@@ -1,0 +1,22 @@
+"""Plain encoding: the tensor stores logical values directly."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+class PlainEncoding(Encoding):
+    """Identity encoding for numeric, boolean and multi-dimensional data."""
+
+    name = "plain"
+
+    def decode(self, tensor: Tensor) -> np.ndarray:
+        return tensor.detach().data
+
+    @staticmethod
+    def encode(values, device=None) -> EncodedTensor:
+        tensor = ensure_tensor(values, device=device)
+        return EncodedTensor(tensor, PlainEncoding())

@@ -1,0 +1,103 @@
+"""Probability Encoding (PE): structured class-probability columns.
+
+Paper §2 introduces PE as an encoding that "attaches structured information
+to numerical data"; §3/§4 use it as the bridge between neural UDF outputs and
+differentiable relational operators. A PE column is an (n, k) float tensor
+whose rows are probability vectors over an explicit class ``domain``. The
+soft group-by/count operators consume PE columns directly (pure matmuls, so
+gradients flow); at inference, ``decode`` collapses to argmax over the domain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+class ProbabilityEncoding(Encoding):
+    """Encoding for (n, k) probability tensors over a fixed class domain."""
+
+    name = "probability"
+
+    def __init__(self, domain: Optional[Sequence] = None, num_classes: Optional[int] = None):
+        if domain is not None:
+            self.domain = np.asarray(list(domain))
+            self.num_classes = len(self.domain)
+        elif num_classes is not None:
+            self.domain = np.arange(num_classes)
+            self.num_classes = num_classes
+        else:
+            raise EncodingError("ProbabilityEncoding needs a domain or num_classes")
+        if self.num_classes < 1:
+            raise EncodingError("ProbabilityEncoding needs at least one class")
+
+    def validate(self, tensor: Tensor) -> None:
+        if tensor.ndim != 2:
+            raise EncodingError(
+                f"PE column must be a 2-d (rows x classes) tensor, got shape {tensor.shape}"
+            )
+        if tensor.shape[1] != self.num_classes:
+            raise EncodingError(
+                f"PE column has {tensor.shape[1]} classes but domain has {self.num_classes}"
+            )
+
+    def decode(self, tensor: Tensor) -> np.ndarray:
+        """Collapse probabilities to hard domain values (argmax)."""
+        idx = tensor.detach().data.argmax(axis=1)
+        return self.domain[idx]
+
+    def hard_codes(self, tensor: Tensor) -> np.ndarray:
+        """Argmax class indices (0..k-1) without mapping through the domain."""
+        return tensor.detach().data.argmax(axis=1)
+
+    @staticmethod
+    def encode(values, domain: Optional[Sequence] = None, logits: Optional[bool] = None,
+               device=None) -> EncodedTensor:
+        """Encode a (n, k) score tensor as a PE column.
+
+        Args:
+            values: tensor/array of shape (n, k). Raw neural network outputs
+                are fine: when ``logits`` is None we auto-detect — rows that
+                already sum to ~1 with non-negative entries pass through,
+                anything else goes through a softmax (the paper's
+                differentiable argmax proxy).
+            domain: class labels; defaults to ``range(k)``.
+            logits: force (True) or skip (False) the softmax.
+        """
+        tensor = ensure_tensor(values, device=device)
+        if tensor.ndim != 2:
+            raise EncodingError(f"PE expects (rows, classes), got shape {tensor.shape}")
+        data = tensor.detach().data
+        if logits is None:
+            row_sums = data.sum(axis=1)
+            is_prob = bool(np.all(data >= -1e-6) and np.allclose(row_sums, 1.0, atol=1e-4))
+            logits = not is_prob
+        if logits:
+            tensor = ops.softmax(tensor, dim=1)
+        encoding = ProbabilityEncoding(
+            domain=domain if domain is not None else list(range(tensor.shape[1]))
+        )
+        return EncodedTensor(tensor, encoding)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, ProbabilityEncoding)
+            and self.num_classes == other.num_classes
+            and bool(np.all(self.domain == other.domain))
+        )
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.num_classes))
+
+    def __repr__(self) -> str:
+        return f"ProbabilityEncoding(num_classes={self.num_classes})"
+
+
+# The paper's listings spell this ``PEEncoding`` (Listing 4).
+PEEncoding = ProbabilityEncoding

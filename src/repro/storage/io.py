@@ -1,0 +1,74 @@
+"""CSV and NPZ input/output for frames and tables."""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import TdpError
+from repro.storage.frame import DataFrame
+from repro.storage.table import Table
+
+
+def _infer_column(values: List[str]) -> np.ndarray:
+    """Infer int → float → string for a parsed CSV column."""
+    try:
+        return np.asarray([int(v) for v in values], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.asarray([float(v) for v in values], dtype=np.float32)
+    except ValueError:
+        pass
+    return np.asarray(values, dtype=object)
+
+
+def read_csv(path: str) -> DataFrame:
+    """Read a CSV file with a header row into a DataFrame."""
+    if not os.path.exists(path):
+        raise TdpError(f"no CSV file at {path}")
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        rows = list(reader)
+    if not rows:
+        return DataFrame()
+    header, body = rows[0], rows[1:]
+    frame = DataFrame()
+    for i, name in enumerate(header):
+        frame[name] = _infer_column([row[i] for row in body])
+    return frame
+
+
+def write_csv(frame: DataFrame, path: str) -> None:
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(frame.columns)
+        for row in frame.itertuples():
+            writer.writerow(row)
+
+
+def save_table(table: Table, path: str) -> None:
+    """Persist a table's decoded columns as an .npz archive."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    arrays: Dict[str, np.ndarray] = {}
+    for col in table.columns:
+        values = col.decode()
+        if values.dtype == object:
+            values = values.astype(str)
+        arrays[col.name] = values
+    np.savez(path, **arrays)
+
+
+def load_table(path: str, name: Optional[str] = None, device=None) -> Table:
+    if not os.path.exists(path):
+        raise TdpError(f"no table archive at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        data = {key: archive[key] for key in archive.files}
+    table_name = name or os.path.splitext(os.path.basename(path))[0]
+    return Table.from_dict(table_name, data, device=device)

@@ -1,0 +1,57 @@
+"""Dtype policy for the tensor runtime.
+
+We follow PyTorch's defaults: Python floats and float arrays become
+``float32``, Python ints become ``int64``, and bools stay ``bool``. numpy's
+own promotion rules apply inside kernels; :func:`result_type` is used where
+we need to decide a promotion explicitly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+float32 = np.float32
+float64 = np.float64
+int32 = np.int32
+int64 = np.int64
+uint8 = np.uint8
+bool_ = np.bool_
+
+_FLOAT_KINDS = ("f",)
+_INT_KINDS = ("i", "u")
+
+
+def default_dtype_for(array: np.ndarray) -> np.dtype:
+    """Return the canonical storage dtype for a freshly ingested array."""
+    kind = array.dtype.kind
+    if kind == "f":
+        return np.dtype(np.float32)
+    if kind in ("i", "u"):
+        return np.dtype(np.int64)
+    if kind == "b":
+        return np.dtype(np.bool_)
+    raise TypeError(f"unsupported dtype {array.dtype} for tensor data")
+
+
+def canonicalize(array: np.ndarray) -> np.ndarray:
+    """Cast an ingested array to its canonical dtype (no-op when it already is)."""
+    target = default_dtype_for(array)
+    if array.dtype == target:
+        return array
+    return array.astype(target)
+
+
+def is_float(dtype) -> bool:
+    return np.dtype(dtype).kind in _FLOAT_KINDS
+
+
+def is_int(dtype) -> bool:
+    return np.dtype(dtype).kind in _INT_KINDS
+
+
+def is_bool(dtype) -> bool:
+    return np.dtype(dtype).kind == "b"
+
+
+def result_type(*dtypes) -> np.dtype:
+    return np.result_type(*dtypes)

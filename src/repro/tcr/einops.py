@@ -1,0 +1,152 @@
+"""A small einops-style ``rearrange`` implementation.
+
+Paper Listing 4 tiles an MNISTGrid image with
+``einops.rearrange(grid, "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2", h1=3, w1=3)``.
+This module supports exactly that pattern language: space-separated axes,
+parenthesised groups, ``1`` singleton literals, and named-size keyword
+arguments. The transformation compiles to reshape + permute + reshape on our
+autograd ops, so gradients flow through it for free.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence
+
+from repro.errors import ShapeError
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor
+
+_TOKEN_RE = re.compile(r"\(|\)|[A-Za-z_][A-Za-z0-9_]*|1|\S")
+
+
+def _parse_side(side: str) -> List[List[str]]:
+    """Parse one side of a pattern into a list of groups of axis names."""
+    groups: List[List[str]] = []
+    current: List[str] | None = None
+    for token in _TOKEN_RE.findall(side):
+        if token == "(":
+            if current is not None:
+                raise ShapeError(f"nested parentheses in pattern side {side!r}")
+            current = []
+            groups.append(current)
+        elif token == ")":
+            if current is None:
+                raise ShapeError(f"unbalanced ')' in pattern side {side!r}")
+            current = None
+        elif token == "1" or token.isidentifier():
+            if current is not None:
+                current.append(token)
+            else:
+                groups.append([token])
+        else:
+            raise ShapeError(f"unexpected token {token!r} in pattern side {side!r}")
+    if current is not None:
+        raise ShapeError(f"unbalanced '(' in pattern side {side!r}")
+    return groups
+
+
+def rearrange(tensor: Tensor, pattern: str, **axis_sizes: int) -> Tensor:
+    """Rearrange tensor dimensions according to an einops pattern."""
+    if "->" not in pattern:
+        raise ShapeError(f"pattern {pattern!r} must contain '->'")
+    left_str, right_str = pattern.split("->")
+    left = _parse_side(left_str)
+    right = _parse_side(right_str)
+
+    if len(left) != tensor.ndim:
+        raise ShapeError(
+            f"pattern left side has {len(left)} dims but tensor has {tensor.ndim}"
+        )
+
+    # Resolve every named axis size from kwargs + input shape.
+    sizes = dict(axis_sizes)
+    singleton_count = 0
+    flat_left: List[str] = []
+    for group, dim_size in zip(left, tensor.shape):
+        known = 1
+        unknown = None
+        for name in group:
+            if name == "1":
+                # Rename each literal to a unique singleton axis.
+                name = f"__one{singleton_count}"
+                singleton_count += 1
+                sizes[name] = 1
+            if name in sizes:
+                known *= sizes[name]
+            else:
+                if unknown is not None:
+                    raise ShapeError(
+                        f"cannot infer sizes of both {unknown!r} and {name!r} in one group"
+                    )
+                unknown = name
+            flat_left.append(name)
+        if unknown is not None:
+            if dim_size % known:
+                raise ShapeError(
+                    f"dim of size {dim_size} not divisible by known product {known}"
+                )
+            sizes[unknown] = dim_size // known
+        elif known != dim_size:
+            raise ShapeError(
+                f"group {group} implies size {known} but dim has size {dim_size}"
+            )
+
+    # The left side may rename literals; rebuild groups with resolved names.
+    resolved_left: List[List[str]] = []
+    cursor = 0
+    for group in left:
+        resolved_left.append(flat_left[cursor:cursor + len(group)])
+        cursor += len(group)
+
+    flat_right: List[str] = []
+    one_pool = [n for n in flat_left if n.startswith("__one")]
+    for group in right:
+        for name in group:
+            if name == "1":
+                # Consume an unused left singleton, or synthesise a new one.
+                if one_pool:
+                    name = one_pool.pop(0)
+                else:
+                    name = f"__one{singleton_count}"
+                    singleton_count += 1
+                    sizes[name] = 1
+            flat_right.append(name)
+
+    missing = [n for n in flat_left if n not in flat_right and not n.startswith("__one")]
+    if missing:
+        raise ShapeError(f"axes {missing} appear on the left but not the right")
+    new_axes = [n for n in flat_right if n not in flat_left]
+    for name in new_axes:
+        if sizes.get(name) != 1:
+            raise ShapeError(f"new axis {name!r} on the right must have size 1")
+
+    # Step 1: reshape to fully decomposed left shape.
+    decomposed_shape = tuple(sizes[name] for name in flat_left)
+    out = ops.reshape(tensor, decomposed_shape)
+
+    # Step 2: permute decomposed axes into right-side order (existing axes only).
+    right_existing = [n for n in flat_right if n in flat_left]
+    perm = tuple(flat_left.index(name) for name in right_existing)
+    dropped = [i for i, n in enumerate(flat_left) if n not in flat_right]
+    if dropped:
+        # Only singleton axes may be dropped; squeeze them first.
+        keep = [i for i in range(len(flat_left)) if i not in dropped]
+        out = ops.reshape(out, tuple(decomposed_shape[i] for i in keep))
+        flat_kept = [flat_left[i] for i in keep]
+        perm = tuple(flat_kept.index(name) for name in right_existing)
+    if perm != tuple(range(len(perm))):
+        out = ops.permute(out, perm)
+
+    # Step 3: reshape into grouped right-side shape (inserting new singletons).
+    final_shape = []
+    for group in right:
+        size = 1
+        for name in group:
+            if name == "1":
+                continue
+            size *= sizes[name]
+        if group == ["1"] or (len(group) == 1 and group[0] == "1"):
+            size = 1
+        final_shape.append(size)
+    return ops.reshape(out, tuple(final_shape))

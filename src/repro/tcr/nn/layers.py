@@ -1,0 +1,181 @@
+"""Core layers: Linear, Conv2d, pooling, activations, dropout, flatten."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tcr import ops
+from repro.tcr.nn import init
+from repro.tcr.nn.module import Module, Parameter
+from repro.tcr.random import get_generator
+from repro.tcr.tensor import Tensor, zeros
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` with kaiming-uniform initialisation."""
+
+    def __init__(self, in_features: int, out_features: int, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(np.empty((out_features, in_features), dtype=np.float32))
+        init.kaiming_uniform_(self.weight)
+        if bias:
+            bound = 1.0 / math.sqrt(in_features)
+            self.bias = Parameter(np.empty(out_features, dtype=np.float32))
+            init.uniform_(self.bias, -bound, bound)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = ops.matmul(x, self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return (f"Linear(in_features={self.in_features}, "
+                f"out_features={self.out_features}, bias={self.bias is not None})")
+
+
+class Conv2d(Module):
+    """2-d convolution over (N, C, H, W) inputs."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel_size,
+                 stride=1, padding=0, bias: bool = True):
+        super().__init__()
+        kh, kw = (kernel_size, kernel_size) if isinstance(kernel_size, int) else kernel_size
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = (kh, kw)
+        self.stride = stride
+        self.padding = padding
+        self.weight = Parameter(
+            np.empty((out_channels, in_channels, kh, kw), dtype=np.float32)
+        )
+        init.kaiming_uniform_(self.weight)
+        if bias:
+            bound = 1.0 / math.sqrt(in_channels * kh * kw)
+            self.bias = Parameter(np.empty(out_channels, dtype=np.float32))
+            init.uniform_(self.bias, -bound, bound)
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.conv2d(x, self.weight, self.bias, stride=self.stride, padding=self.padding)
+
+    def __repr__(self) -> str:
+        return (f"Conv2d({self.in_channels}, {self.out_channels}, "
+                f"kernel_size={self.kernel_size}, stride={self.stride}, "
+                f"padding={self.padding})")
+
+
+class MaxPool2d(Module):
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.max_pool2d(x, self.kernel_size, self.stride)
+
+
+class AvgPool2d(Module):
+    def __init__(self, kernel_size, stride=None):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class AdaptiveAvgPool2d(Module):
+    def __init__(self, output_size: int = 1):
+        super().__init__()
+        self.output_size = output_size
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.adaptive_avg_pool2d(x, self.output_size)
+
+
+class ReLU(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.relu(x)
+
+
+class LeakyReLU(Module):
+    def __init__(self, negative_slope: float = 0.01):
+        super().__init__()
+        self.negative_slope = negative_slope
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.leaky_relu(x, self.negative_slope)
+
+
+class Sigmoid(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.sigmoid(x)
+
+
+class Tanh(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.tanh(x)
+
+
+class Softmax(Module):
+    def __init__(self, dim: int = -1):
+        super().__init__()
+        self.dim = dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.softmax(x, self.dim)
+
+
+class Flatten(Module):
+    def __init__(self, start_dim: int = 1, end_dim: int = -1):
+        super().__init__()
+        self.start_dim = start_dim
+        self.end_dim = end_dim
+
+    def forward(self, x: Tensor) -> Tensor:
+        return ops.flatten(x, self.start_dim, self.end_dim)
+
+
+class Identity(Module):
+    def forward(self, x: Tensor) -> Tensor:
+        return x
+
+
+class Dropout(Module):
+    """Inverted dropout; a no-op in eval mode."""
+
+    def __init__(self, p: float = 0.5):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ShapeError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (get_generator().random(x.shape) < keep).astype(np.float32) / keep
+        return x * Tensor(mask, device=x.device)
+
+
+class Embedding(Module):
+    """Lookup table mapping int64 indices to dense vectors."""
+
+    def __init__(self, num_embeddings: int, embedding_dim: int):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.weight = Parameter(np.empty((num_embeddings, embedding_dim), dtype=np.float32))
+        init.normal_(self.weight, 0.0, 1.0)
+
+    def forward(self, index: Tensor) -> Tensor:
+        return ops.getitem(self.weight, index)

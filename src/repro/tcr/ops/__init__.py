@@ -1,0 +1,113 @@
+"""Operator library for the tensor runtime.
+
+Import surface mirrors a functional subset of ``torch``: every op takes and
+returns :class:`~repro.tcr.tensor.Tensor` values and participates in
+autograd where mathematically meaningful.
+"""
+
+from repro.tcr.ops.activation import (
+    gelu,
+    leaky_relu,
+    log_softmax,
+    relu,
+    sigmoid,
+    softmax,
+    tanh,
+)
+from repro.tcr.ops.conv import (
+    adaptive_avg_pool2d,
+    avg_pool2d,
+    conv2d,
+    max_pool2d,
+)
+from repro.tcr.ops.elementwise import (
+    abs,
+    add,
+    astype,
+    ceil,
+    clamp,
+    clone,
+    div,
+    eq,
+    exp,
+    floor,
+    ge,
+    gt,
+    isclose,
+    isnan,
+    le,
+    log,
+    log1p,
+    logical_and,
+    logical_not,
+    logical_or,
+    logical_xor,
+    lt,
+    maximum,
+    minimum,
+    mul,
+    ne,
+    neg,
+    pow,
+    remainder,
+    round,
+    sign,
+    sqrt,
+    sub,
+    to_device,
+    where,
+)
+from repro.tcr.ops.indexing import (
+    gather,
+    getitem,
+    index_select,
+    masked_select,
+    one_hot,
+    repeat_interleave,
+    scatter_add,
+    segment_sum,
+)
+from repro.tcr.ops.linalg import dot, einsum_pair, matmul, outer
+from repro.tcr.ops.reduction import (
+    all,
+    any,
+    argmax,
+    argmin,
+    cumsum,
+    logsumexp,
+    max,
+    mean,
+    min,
+    prod,
+    std,
+    sum,
+    var,
+)
+from repro.tcr.ops.shape import (
+    broadcast_to,
+    cat,
+    chunk,
+    flatten,
+    flip,
+    pad2d,
+    permute,
+    reshape,
+    split,
+    squeeze,
+    stack,
+    tile,
+    transpose,
+    unsqueeze,
+)
+from repro.tcr.ops.sorting import (
+    argsort,
+    bincount,
+    lexsort_rows,
+    nonzero,
+    searchsorted,
+    sort,
+    topk,
+    unique,
+)
+
+__all__ = [name for name in dir() if not name.startswith("_")]

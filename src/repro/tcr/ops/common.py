@@ -1,0 +1,55 @@
+"""Shared helpers for operator implementations."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.tcr.device import Device, same_device
+from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+def coerce_pair(a, b) -> Tuple[Tensor, Tensor, Device]:
+    """Promote a binary op's operands to tensors on a common device.
+
+    Python scalars / numpy arrays are wrapped on the device of the tensor
+    operand; two tensor operands must already share a device.
+    """
+    if isinstance(a, Tensor) and isinstance(b, Tensor):
+        device = same_device(a.device, b.device)
+        return a, b, device
+    if isinstance(a, Tensor):
+        return a, ensure_tensor(b, device=a.device), a.device
+    if isinstance(b, Tensor):
+        return ensure_tensor(a, device=b.device), b, b.device
+    a_t = ensure_tensor(a)
+    b_t = ensure_tensor(b, device=a_t.device)
+    return a_t, b_t, a_t.device
+
+
+def normalize_dim(dim: int, ndim: int) -> int:
+    """Convert a possibly-negative axis to its positive form with bounds check."""
+    if not -ndim <= dim < max(ndim, 1):
+        raise IndexError(f"dim {dim} out of range for tensor with {ndim} dimensions")
+    return dim % ndim if ndim else 0
+
+
+def reduction_axes(dim, ndim: int) -> Optional[Tuple[int, ...]]:
+    """Normalise a reduction's ``dim`` argument to a tuple of axes (None = all)."""
+    if dim is None:
+        return None
+    if isinstance(dim, (tuple, list)):
+        return tuple(normalize_dim(d, ndim) for d in dim)
+    return (normalize_dim(dim, ndim),)
+
+
+def expand_reduced(grad: np.ndarray, shape: tuple, axes: Optional[Tuple[int, ...]],
+                   keepdim: bool) -> np.ndarray:
+    """Broadcast a reduced gradient back to the pre-reduction shape."""
+    if axes is None:
+        return np.broadcast_to(grad, shape)
+    if not keepdim:
+        for axis in sorted(axes):
+            grad = np.expand_dims(grad, axis)
+    return np.broadcast_to(grad, shape)

@@ -1,0 +1,155 @@
+"""Convolution and pooling kernels (im2col-based), with full adjoints.
+
+These back the CNN digit/size parsers, CNN-Small and ResNet used in the
+MNISTGrid experiments (paper §5.4/§5.5), and the TinyCLIP image tower.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tcr.device import same_device
+from repro.tcr.tensor import Tensor
+
+
+def _pair(value) -> Tuple[int, int]:
+    if isinstance(value, (tuple, list)):
+        return int(value[0]), int(value[1])
+    return int(value), int(value)
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Extract sliding windows: (N,C,H,W) -> (N, Ho, Wo, C, kh, kw)."""
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # windows: (N, C, Ho_full, Wo_full, kh, kw); apply stride then reorder.
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    return np.ascontiguousarray(windows.transpose(0, 2, 3, 1, 4, 5))
+
+
+def _col2im(cols: np.ndarray, x_shape: tuple, kh: int, kw: int, sh: int, sw: int) -> np.ndarray:
+    """Adjoint of _im2col: scatter window grads back to input positions."""
+    n, c, h, w = x_shape
+    ho = (h - kh) // sh + 1
+    wo = (w - kw) // sw + 1
+    out = np.zeros(x_shape, dtype=cols.dtype)
+    # cols: (N, Ho, Wo, C, kh, kw). Loop over the (small) kernel footprint;
+    # each (i,j) offset maps windows onto a strided slab of the input.
+    for i in range(kh):
+        h_end = i + sh * ho
+        for j in range(kw):
+            w_end = j + sw * wo
+            out[:, :, i:h_end:sh, j:w_end:sw] += cols[:, :, :, :, i, j].transpose(0, 3, 1, 2)
+    return out
+
+
+def conv2d(x: Tensor, weight: Tensor, bias: Tensor = None, stride=1, padding=0) -> Tensor:
+    """2-d cross-correlation: x (N,C,H,W) * weight (O,C,kh,kw) -> (N,O,Ho,Wo)."""
+    if x.ndim != 4 or weight.ndim != 4:
+        raise ShapeError(f"conv2d expects 4-d input/weight, got {x.shape}/{weight.shape}")
+    if x.shape[1] != weight.shape[1]:
+        raise ShapeError(f"conv2d channel mismatch: input {x.shape[1]} vs weight {weight.shape[1]}")
+    sh, sw = _pair(stride)
+    ph, pw = _pair(padding)
+    parents = [x, weight] + ([bias] if bias is not None else [])
+    device = same_device(*[p.device for p in parents])
+
+    x_data = x.data
+    if ph or pw:
+        x_data = np.pad(x_data, ((0, 0), (0, 0), (ph, ph), (pw, pw)))
+    n, c, h, w = x_data.shape
+    o, _, kh, kw = weight.shape
+    if h < kh or w < kw:
+        raise ShapeError(f"conv2d kernel {kh}x{kw} larger than (padded) input {h}x{w}")
+    cols = _im2col(x_data, kh, kw, sh, sw)          # (N,Ho,Wo,C,kh,kw)
+    ho, wo = cols.shape[1], cols.shape[2]
+    cols_mat = cols.reshape(n * ho * wo, c * kh * kw)
+    w_mat = weight.data.reshape(o, c * kh * kw)
+    out = cols_mat @ w_mat.T                        # (N*Ho*Wo, O)
+    out = out.reshape(n, ho, wo, o).transpose(0, 3, 1, 2)
+    if bias is not None:
+        out = out + bias.data.reshape(1, o, 1, 1)
+    out = np.ascontiguousarray(out)
+    padded_shape = x_data.shape
+    orig_shape = x.shape
+
+    def backward(grad):
+        g_mat = grad.transpose(0, 2, 3, 1).reshape(n * ho * wo, o)
+        gx = gw = gb = None
+        if x.requires_grad:
+            gcols = (g_mat @ w_mat).reshape(n, ho, wo, c, kh, kw)
+            gx_padded = _col2im(gcols, padded_shape, kh, kw, sh, sw)
+            gx = gx_padded[:, :, ph:ph + orig_shape[2], pw:pw + orig_shape[3]] if (ph or pw) else gx_padded
+        if weight.requires_grad:
+            gw = (g_mat.T @ cols_mat).reshape(o, c, kh, kw)
+        if bias is not None and bias.requires_grad:
+            gb = grad.sum(axis=(0, 2, 3)).reshape(bias.shape)
+        result = [gx, gw]
+        if bias is not None:
+            result.append(gb)
+        return tuple(result)
+
+    return Tensor._make(out, tuple(parents), backward, "conv2d", device)
+
+
+def max_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    if x.ndim != 4:
+        raise ShapeError(f"max_pool2d expects a 4-d tensor, got {x.shape}")
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]        # (N,C,Ho,Wo,kh,kw)
+    n, c, ho, wo = windows.shape[:4]
+    flat = windows.reshape(n, c, ho, wo, kh * kw)
+    arg = flat.argmax(axis=-1)
+    out = np.take_along_axis(flat, arg[..., None], axis=-1)[..., 0]
+    shape = x.shape
+
+    def backward(grad):
+        gx = np.zeros(shape, dtype=grad.dtype)
+        ki, kj = np.divmod(arg, kw)
+        ni, ci, hi, wi = np.meshgrid(
+            np.arange(n), np.arange(c), np.arange(ho), np.arange(wo), indexing="ij"
+        )
+        rows = hi * sh + ki
+        cols = wi * sw + kj
+        np.add.at(gx, (ni, ci, rows, cols), grad)
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward, "max_pool2d", x.device)
+
+
+def avg_pool2d(x: Tensor, kernel_size, stride=None) -> Tensor:
+    if x.ndim != 4:
+        raise ShapeError(f"avg_pool2d expects a 4-d tensor, got {x.shape}")
+    kh, kw = _pair(kernel_size)
+    sh, sw = _pair(stride) if stride is not None else (kh, kw)
+    windows = np.lib.stride_tricks.sliding_window_view(x.data, (kh, kw), axis=(2, 3))
+    windows = windows[:, :, ::sh, ::sw, :, :]
+    out = windows.mean(axis=(-1, -2))
+    n, c, ho, wo = out.shape
+    shape = x.shape
+    scale = 1.0 / (kh * kw)
+
+    def backward(grad):
+        gx = np.zeros(shape, dtype=grad.dtype)
+        g = grad * scale
+        for i in range(kh):
+            for j in range(kw):
+                gx[:, :, i:i + sh * ho:sh, j:j + sw * wo:sw] += g
+        return (gx,)
+
+    return Tensor._make(np.ascontiguousarray(out), (x,), backward, "avg_pool2d", x.device)
+
+
+def adaptive_avg_pool2d(x: Tensor, output_size: int = 1) -> Tensor:
+    """Global (or integer-divisor) average pooling used by ResNet heads."""
+    if output_size != 1:
+        h, w = x.shape[2], x.shape[3]
+        if h % output_size or w % output_size:
+            raise ShapeError("adaptive_avg_pool2d supports only divisor output sizes")
+        return avg_pool2d(x, (h // output_size, w // output_size))
+    from repro.tcr.ops.reduction import mean
+    return mean(x, dim=(2, 3), keepdim=True)

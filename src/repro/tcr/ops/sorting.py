@@ -1,0 +1,119 @@
+"""Sorting, top-k, unique and search operators.
+
+The relational engine leans on these: ORDER BY lowers to (lex)argsort,
+LIMIT+ORDER BY to topk, DISTINCT and group-key factorisation to unique.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.tcr.ops.common import normalize_dim
+from repro.tcr.tensor import Tensor
+
+
+def argsort(a: Tensor, dim: int = -1, descending: bool = False, stable: bool = True) -> Tensor:
+    axis = normalize_dim(dim, a.ndim)
+    kind = "stable" if stable else "quicksort"
+    if descending:
+        # Stable descending: sort the negated rank trick via flipping a stable
+        # ascending sort of the reversed array.
+        order = np.argsort(-a.data if a.dtype.kind in "fiu" else a.data[::-1], axis=axis, kind=kind)
+        if a.dtype.kind not in "fiu":
+            order = np.flip(a.shape[axis] - 1 - order, axis=axis)
+    else:
+        order = np.argsort(a.data, axis=axis, kind=kind)
+    return Tensor._make(order.astype(np.int64), (a,), None, "argsort", a.device)
+
+
+def sort(a: Tensor, dim: int = -1, descending: bool = False):
+    axis = normalize_dim(dim, a.ndim)
+    indices = argsort(a, dim=axis, descending=descending)
+    values = np.take_along_axis(a.data, indices.data, axis=axis)
+    idx_data = indices.data
+    shape = a.shape
+
+    def backward(grad):
+        out = np.zeros(shape, dtype=grad.dtype)
+        np.put_along_axis(out, idx_data, grad, axis=axis)
+        return (out,)
+
+    values_t = Tensor._make(values, (a,), backward, "sort", a.device)
+    return values_t, indices
+
+
+def topk(a: Tensor, k: int, dim: int = -1, largest: bool = True):
+    axis = normalize_dim(dim, a.ndim)
+    if k < 0 or k > a.shape[axis]:
+        raise ShapeError(f"topk k={k} out of range for dim of size {a.shape[axis]}")
+    order = argsort(a, dim=axis, descending=largest).data
+    take = [slice(None)] * a.ndim
+    take[axis] = slice(0, k)
+    idx = np.ascontiguousarray(order[tuple(take)])
+    values = np.take_along_axis(a.data, idx, axis=axis)
+    shape = a.shape
+
+    def backward(grad):
+        out = np.zeros(shape, dtype=grad.dtype)
+        np.put_along_axis(out, idx, grad, axis=axis)
+        return (out,)
+
+    values_t = Tensor._make(values, (a,), backward, "topk", a.device)
+    indices_t = Tensor._make(idx.astype(np.int64), (a,), None, "topk_idx", a.device)
+    return values_t, indices_t
+
+
+def unique(a: Tensor, return_inverse: bool = False, return_counts: bool = False):
+    results = np.unique(a.data, return_inverse=return_inverse, return_counts=return_counts)
+    if not (return_inverse or return_counts):
+        return Tensor._make(results, (a,), None, "unique", a.device)
+    out = [Tensor._make(results[0], (a,), None, "unique", a.device)]
+    pos = 1
+    if return_inverse:
+        out.append(Tensor._make(results[pos].reshape(a.shape).astype(np.int64),
+                                (a,), None, "unique_inv", a.device))
+        pos += 1
+    if return_counts:
+        out.append(Tensor._make(results[pos].astype(np.int64), (a,), None, "unique_cnt", a.device))
+    return tuple(out)
+
+
+def searchsorted(sorted_seq: Tensor, values: Tensor, side: str = "left") -> Tensor:
+    if sorted_seq.ndim != 1:
+        raise ShapeError("searchsorted expects a 1-d sorted sequence")
+    idx = np.searchsorted(sorted_seq.data, values.data, side=side)
+    return Tensor._make(np.asarray(idx, dtype=np.int64), (sorted_seq, values), None,
+                        "searchsorted", sorted_seq.device)
+
+
+def bincount(a: Tensor, minlength: int = 0) -> Tensor:
+    if a.ndim != 1:
+        raise ShapeError("bincount expects a 1-d tensor")
+    data = np.bincount(a.data, minlength=minlength)
+    return Tensor._make(data.astype(np.int64), (a,), None, "bincount", a.device)
+
+
+def nonzero(a: Tensor) -> Tensor:
+    idx = np.argwhere(a.data)
+    return Tensor._make(idx.astype(np.int64), (a,), None, "nonzero", a.device)
+
+
+def lexsort_rows(keys: Sequence[Tensor]) -> Tensor:
+    """Stable row order by multiple 1-d key columns (first key most significant).
+
+    This is the tensor-level primitive behind multi-column ORDER BY and the
+    sort-based group-by: ``np.lexsort`` sorts by the *last* key first, so the
+    caller's most-significant-first list is reversed here.
+    """
+    if not keys:
+        raise ShapeError("lexsort_rows requires at least one key")
+    arrays = [k.data for k in keys]
+    length = arrays[0].shape[0]
+    for arr in arrays:
+        if arr.ndim != 1 or arr.shape[0] != length:
+            raise ShapeError("lexsort_rows keys must be 1-d and equal length")
+    order = np.lexsort(tuple(reversed(arrays)))
+    return Tensor._make(order.astype(np.int64), tuple(keys), None, "lexsort", keys[0].device)

@@ -1,0 +1,33 @@
+"""Stochastic gradient descent with momentum and weight decay."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcr.optim.optimizer import Optimizer
+
+
+class SGD(Optimizer):
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+
+    def step(self) -> None:
+        for p, state in zip(self.params, self.state):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                buf = state.get("momentum_buffer")
+                if buf is None:
+                    buf = grad.copy()
+                else:
+                    buf = self.momentum * buf + grad
+                state["momentum_buffer"] = buf
+                grad = grad + self.momentum * buf if self.nesterov else buf
+            p.data = p.data - self.lr * grad.astype(p.data.dtype, copy=False)

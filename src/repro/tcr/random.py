@@ -1,0 +1,61 @@
+"""Seeded random number generation for the tensor runtime.
+
+A single module-level generator keeps every experiment reproducible:
+``manual_seed`` resets it exactly like ``torch.manual_seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tcr.tensor import Tensor
+
+_generator = np.random.default_rng(0)
+
+
+def manual_seed(seed: int) -> None:
+    """Reset the global generator (mirrors torch.manual_seed)."""
+    global _generator
+    _generator = np.random.default_rng(seed)
+
+
+def get_generator() -> np.random.Generator:
+    return _generator
+
+
+def fork_generator(seed: int) -> np.random.Generator:
+    """Return an independent generator without disturbing the global one."""
+    return np.random.default_rng(seed)
+
+
+def randn(*shape, device=None, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    data = _generator.standard_normal(shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad, device=device)
+
+
+def rand(*shape, device=None, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    data = _generator.random(shape).astype(np.float32)
+    return Tensor(data, requires_grad=requires_grad, device=device)
+
+
+def randint(low: int, high: int, shape, device=None) -> Tensor:
+    data = _generator.integers(low, high, size=tuple(shape), dtype=np.int64)
+    return Tensor(data, device=device)
+
+
+def randperm(n: int, device=None) -> Tensor:
+    return Tensor(_generator.permutation(n).astype(np.int64), device=device)
+
+
+def bernoulli(p, shape, device=None) -> Tensor:
+    data = (_generator.random(tuple(shape)) < p)
+    return Tensor(data, device=device)
+
+
+def normal(mean: float, std: float, shape, device=None) -> Tensor:
+    data = _generator.normal(mean, std, size=tuple(shape)).astype(np.float32)
+    return Tensor(data, device=device)

@@ -1,0 +1,568 @@
+"""The ``Tensor`` type: a numpy-backed, autograd-capable multi-d array.
+
+This mirrors the subset of ``torch.Tensor`` that the paper's listings use:
+arithmetic with broadcasting, matmul, reductions, shape ops, indexing,
+activations, ``backward()``, ``detach()``, ``item()``, device placement and
+dtype casts. Operator implementations live in :mod:`repro.tcr.ops`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AutogradError, ShapeError
+from repro.tcr import dtype as dtypes
+from repro.tcr.autograd import BackwardFn, is_grad_enabled, run_backward
+from repro.tcr.device import CPU, Device, as_device
+
+
+class Tensor:
+    """A multidimensional array with optional gradient tracking.
+
+    Attributes:
+        data: the underlying numpy array (never shared with autograd state).
+        requires_grad: whether operations on this tensor are recorded.
+        grad: accumulated gradient (numpy array) after ``backward()``.
+        device: placement tag (``cpu`` or simulated ``cuda``).
+    """
+
+    __slots__ = ("data", "requires_grad", "grad", "device", "_parents", "_backward", "_op")
+
+    def __init__(self, data, requires_grad: bool = False, device=None, dtype=None):
+        array = np.asarray(data)
+        if dtype is not None:
+            array = array.astype(dtype, copy=False)
+        elif array.dtype == np.float64 or array.dtype.kind not in "fiub":
+            array = dtypes.canonicalize(array)
+        if requires_grad and not dtypes.is_float(array.dtype):
+            raise AutogradError("only floating-point tensors can require gradients")
+        self.data = array
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self.device = as_device(device)
+        self._parents: tuple = ()
+        self._backward: Optional[BackwardFn] = None
+        self._op = ""
+
+    # ------------------------------------------------------------------
+    # Internal graph-node constructor
+    # ------------------------------------------------------------------
+    @classmethod
+    def _make(cls, data: np.ndarray, parents: Sequence["Tensor"], backward: Optional[BackwardFn],
+              op: str, device: Device) -> "Tensor":
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        out.device = device
+        grad_needed = (
+            is_grad_enabled()
+            and backward is not None
+            and any(p.requires_grad for p in parents)
+        )
+        if grad_needed:
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        else:
+            out.requires_grad = False
+            out._parents = ()
+            out._backward = None
+        out._op = op
+        return out
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        from repro.tcr import ops
+        if self.ndim < 2:
+            return self
+        return ops.permute(self, tuple(reversed(range(self.ndim))))
+
+    @property
+    def is_leaf(self) -> bool:
+        return self._backward is None
+
+    def numel(self) -> int:
+        return self.data.size
+
+    def size(self, dim: Optional[int] = None):
+        if dim is None:
+            return self.data.shape
+        return self.data.shape[dim]
+
+    def dim(self) -> int:
+        return self.data.ndim
+
+    def __len__(self) -> int:
+        if self.ndim == 0:
+            raise ShapeError("len() of a 0-d tensor")
+        return self.data.shape[0]
+
+    def __repr__(self) -> str:
+        grad_note = ", requires_grad=True" if self.requires_grad else ""
+        dev_note = f", device='{self.device}'" if self.device != CPU else ""
+        return f"tensor({np.array2string(self.data, precision=4, threshold=20)}{dev_note}{grad_note})"
+
+    def __bool__(self) -> bool:
+        if self.data.size != 1:
+            raise ShapeError("truth value of a multi-element tensor is ambiguous")
+        return bool(self.data.reshape(()))
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (detached view)."""
+        if self.requires_grad:
+            raise AutogradError("call .detach().numpy() on a tensor that requires grad")
+        return self.data
+
+    def tolist(self):
+        return self.data.tolist()
+
+    def item(self):
+        if self.data.size != 1:
+            raise ShapeError(f"item() requires a single-element tensor, got shape {self.shape}")
+        return self.data.reshape(()).item()
+
+    def detach(self) -> "Tensor":
+        out = Tensor.__new__(Tensor)
+        out.data = self.data
+        out.grad = None
+        out.device = self.device
+        out.requires_grad = False
+        out._parents = ()
+        out._backward = None
+        out._op = "detach"
+        return out
+
+    def clone(self) -> "Tensor":
+        from repro.tcr import ops
+        return ops.clone(self)
+
+    def to(self, device=None, dtype=None) -> "Tensor":
+        """Move to a device and/or cast dtype (differentiable for float casts)."""
+        from repro.tcr import ops
+        out = self
+        if dtype is not None and np.dtype(dtype) != self.dtype:
+            out = ops.astype(out, dtype)
+        if device is not None:
+            target = as_device(device)
+            if target != out.device:
+                out = ops.to_device(out, target)
+        return out
+
+    def cpu(self) -> "Tensor":
+        return self.to(device="cpu")
+
+    def cuda(self) -> "Tensor":
+        return self.to(device="cuda")
+
+    def astype(self, dtype) -> "Tensor":
+        from repro.tcr import ops
+        return ops.astype(self, dtype)
+
+    def float(self) -> "Tensor":
+        return self.astype(np.float32)
+
+    def double(self) -> "Tensor":
+        return self.astype(np.float64)
+
+    def long(self) -> "Tensor":
+        return self.astype(np.int64)
+
+    def bool(self) -> "Tensor":
+        return self.astype(np.bool_)
+
+    # ------------------------------------------------------------------
+    # Autograd entry points
+    # ------------------------------------------------------------------
+    def backward(self, gradient: "Tensor | np.ndarray | None" = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if gradient is None:
+            if self.data.size != 1:
+                raise AutogradError("grad can be implicitly created only for scalar outputs")
+            seed = np.ones_like(self.data)
+        elif isinstance(gradient, Tensor):
+            seed = gradient.data
+        else:
+            seed = np.asarray(gradient, dtype=self.data.dtype)
+        if seed.shape != self.data.shape:
+            raise ShapeError(
+                f"gradient shape {seed.shape} does not match output shape {self.data.shape}"
+            )
+        run_backward(self, seed)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def requires_grad_(self, flag: bool = True) -> "Tensor":
+        if flag and not dtypes.is_float(self.dtype):
+            raise AutogradError("only floating-point tensors can require gradients")
+        self.requires_grad = flag
+        return self
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators (delegating to ops)
+    # ------------------------------------------------------------------
+    def __add__(self, other):
+        from repro.tcr import ops
+        return ops.add(self, other)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        from repro.tcr import ops
+        return ops.sub(self, other)
+
+    def __rsub__(self, other):
+        from repro.tcr import ops
+        return ops.sub(other, self)
+
+    def __mul__(self, other):
+        from repro.tcr import ops
+        return ops.mul(self, other)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other):
+        from repro.tcr import ops
+        return ops.div(self, other)
+
+    def __rtruediv__(self, other):
+        from repro.tcr import ops
+        return ops.div(other, self)
+
+    def __pow__(self, other):
+        from repro.tcr import ops
+        return ops.pow(self, other)
+
+    def __neg__(self):
+        from repro.tcr import ops
+        return ops.neg(self)
+
+    def __matmul__(self, other):
+        from repro.tcr import ops
+        return ops.matmul(self, other)
+
+    def __mod__(self, other):
+        from repro.tcr import ops
+        return ops.remainder(self, other)
+
+    # Comparisons (never differentiable; produce bool tensors).
+    def __eq__(self, other):  # type: ignore[override]
+        from repro.tcr import ops
+        return ops.eq(self, other)
+
+    def __ne__(self, other):  # type: ignore[override]
+        from repro.tcr import ops
+        return ops.ne(self, other)
+
+    def __lt__(self, other):
+        from repro.tcr import ops
+        return ops.lt(self, other)
+
+    def __le__(self, other):
+        from repro.tcr import ops
+        return ops.le(self, other)
+
+    def __gt__(self, other):
+        from repro.tcr import ops
+        return ops.gt(self, other)
+
+    def __ge__(self, other):
+        from repro.tcr import ops
+        return ops.ge(self, other)
+
+    __hash__ = object.__hash__
+
+    # Logical operators on bool tensors.
+    def __invert__(self):
+        from repro.tcr import ops
+        return ops.logical_not(self)
+
+    def __and__(self, other):
+        from repro.tcr import ops
+        return ops.logical_and(self, other)
+
+    def __or__(self, other):
+        from repro.tcr import ops
+        return ops.logical_or(self, other)
+
+    def __xor__(self, other):
+        from repro.tcr import ops
+        return ops.logical_xor(self, other)
+
+    # Indexing.
+    def __getitem__(self, index):
+        from repro.tcr import ops
+        return ops.getitem(self, index)
+
+    def __setitem__(self, index, value):
+        if self.requires_grad or self._backward is not None:
+            raise AutogradError("in-place assignment on a graph tensor is not supported")
+        if isinstance(index, Tensor):
+            index = index.data
+        elif isinstance(index, tuple):
+            index = tuple(i.data if isinstance(i, Tensor) else i for i in index)
+        if isinstance(value, Tensor):
+            value = value.data
+        self.data[index] = value
+
+    # ------------------------------------------------------------------
+    # Method forms of common ops
+    # ------------------------------------------------------------------
+    def add(self, other):
+        return self + other
+
+    def mul(self, other):
+        return self * other
+
+    def matmul(self, other):
+        from repro.tcr import ops
+        return ops.matmul(self, other)
+
+    def mm(self, other):
+        from repro.tcr import ops
+        return ops.matmul(self, other)
+
+    def exp(self):
+        from repro.tcr import ops
+        return ops.exp(self)
+
+    def log(self):
+        from repro.tcr import ops
+        return ops.log(self)
+
+    def sqrt(self):
+        from repro.tcr import ops
+        return ops.sqrt(self)
+
+    def abs(self):
+        from repro.tcr import ops
+        return ops.abs(self)
+
+    def clamp(self, min=None, max=None):
+        from repro.tcr import ops
+        return ops.clamp(self, min, max)
+
+    def sigmoid(self):
+        from repro.tcr import ops
+        return ops.sigmoid(self)
+
+    def tanh(self):
+        from repro.tcr import ops
+        return ops.tanh(self)
+
+    def relu(self):
+        from repro.tcr import ops
+        return ops.relu(self)
+
+    def softmax(self, dim: int = -1):
+        from repro.tcr import ops
+        return ops.softmax(self, dim)
+
+    def log_softmax(self, dim: int = -1):
+        from repro.tcr import ops
+        return ops.log_softmax(self, dim)
+
+    def sum(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.sum(self, dim, keepdim)
+
+    def mean(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.mean(self, dim, keepdim)
+
+    def var(self, dim=None, keepdim: bool = False, unbiased: bool = True):
+        from repro.tcr import ops
+        return ops.var(self, dim, keepdim, unbiased)
+
+    def std(self, dim=None, keepdim: bool = False, unbiased: bool = True):
+        from repro.tcr import ops
+        return ops.std(self, dim, keepdim, unbiased)
+
+    def max(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.max(self, dim, keepdim)
+
+    def min(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.min(self, dim, keepdim)
+
+    def argmax(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.argmax(self, dim, keepdim)
+
+    def argmin(self, dim=None, keepdim: bool = False):
+        from repro.tcr import ops
+        return ops.argmin(self, dim, keepdim)
+
+    def cumsum(self, dim: int = 0):
+        from repro.tcr import ops
+        return ops.cumsum(self, dim)
+
+    def all(self, dim=None):
+        from repro.tcr import ops
+        return ops.all(self, dim)
+
+    def any(self, dim=None):
+        from repro.tcr import ops
+        return ops.any(self, dim)
+
+    def reshape(self, *shape):
+        from repro.tcr import ops
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.reshape(self, shape)
+
+    def view(self, *shape):
+        return self.reshape(*shape)
+
+    def transpose(self, dim0: int, dim1: int):
+        from repro.tcr import ops
+        return ops.transpose(self, dim0, dim1)
+
+    def permute(self, *dims):
+        from repro.tcr import ops
+        if len(dims) == 1 and isinstance(dims[0], (tuple, list)):
+            dims = tuple(dims[0])
+        return ops.permute(self, dims)
+
+    def squeeze(self, dim=None):
+        from repro.tcr import ops
+        return ops.squeeze(self, dim)
+
+    def unsqueeze(self, dim: int):
+        from repro.tcr import ops
+        return ops.unsqueeze(self, dim)
+
+    def flatten(self, start_dim: int = 0, end_dim: int = -1):
+        from repro.tcr import ops
+        return ops.flatten(self, start_dim, end_dim)
+
+    def expand(self, *shape):
+        from repro.tcr import ops
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return ops.broadcast_to(self, shape)
+
+    def broadcast_to(self, shape):
+        from repro.tcr import ops
+        return ops.broadcast_to(self, tuple(shape))
+
+    def repeat(self, *reps):
+        from repro.tcr import ops
+        if len(reps) == 1 and isinstance(reps[0], (tuple, list)):
+            reps = tuple(reps[0])
+        return ops.tile(self, reps)
+
+    def gather(self, dim: int, index: "Tensor"):
+        from repro.tcr import ops
+        return ops.gather(self, dim, index)
+
+    def index_select(self, dim: int, index: "Tensor"):
+        from repro.tcr import ops
+        return ops.index_select(self, dim, index)
+
+    def masked_select(self, mask: "Tensor"):
+        from repro.tcr import ops
+        return ops.masked_select(self, mask)
+
+    def sort(self, dim: int = -1, descending: bool = False):
+        from repro.tcr import ops
+        return ops.sort(self, dim, descending)
+
+    def argsort(self, dim: int = -1, descending: bool = False):
+        from repro.tcr import ops
+        return ops.argsort(self, dim, descending)
+
+    def topk(self, k: int, dim: int = -1, largest: bool = True):
+        from repro.tcr import ops
+        return ops.topk(self, k, dim, largest)
+
+    def unique(self, return_counts: bool = False):
+        from repro.tcr import ops
+        return ops.unique(self, return_counts=return_counts)
+
+
+TensorLike = "Tensor | np.ndarray | float | int | bool | list | tuple"
+
+
+def ensure_tensor(value, device: Optional[Device] = None, dtype=None) -> Tensor:
+    """Coerce scalars/arrays/lists into a Tensor on ``device``."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, device=device, dtype=dtype)
+
+
+# ----------------------------------------------------------------------
+# Creation functions (torch-style free functions)
+# ----------------------------------------------------------------------
+
+def tensor(data, dtype=None, device=None, requires_grad: bool = False) -> Tensor:
+    return Tensor(data, requires_grad=requires_grad, device=device, dtype=dtype)
+
+
+def from_numpy(array: np.ndarray, device=None) -> Tensor:
+    return Tensor(array, device=device)
+
+
+def zeros(*shape, dtype=np.float32, device=None, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.zeros(shape, dtype=dtype), requires_grad=requires_grad, device=device)
+
+def ones(*shape, dtype=np.float32, device=None, requires_grad: bool = False) -> Tensor:
+    if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+        shape = tuple(shape[0])
+    return Tensor(np.ones(shape, dtype=dtype), requires_grad=requires_grad, device=device)
+
+
+def full(shape, fill_value, dtype=None, device=None) -> Tensor:
+    if dtype is None:
+        dtype = np.float32 if isinstance(fill_value, float) else np.int64
+    return Tensor(np.full(shape, fill_value, dtype=dtype), device=device)
+
+
+def zeros_like(t: Tensor, dtype=None) -> Tensor:
+    return Tensor(np.zeros_like(t.data, dtype=dtype), device=t.device)
+
+
+def ones_like(t: Tensor, dtype=None) -> Tensor:
+    return Tensor(np.ones_like(t.data, dtype=dtype), device=t.device)
+
+
+def arange(*args, dtype=None, device=None) -> Tensor:
+    array = np.arange(*args)
+    if dtype is not None:
+        array = array.astype(dtype)
+    elif array.dtype.kind == "i":
+        array = array.astype(np.int64)
+    else:
+        array = array.astype(np.float32)
+    return Tensor(array, device=device)
+
+
+def linspace(start, stop, steps, device=None) -> Tensor:
+    return Tensor(np.linspace(start, stop, steps, dtype=np.float32), device=device)
+
+
+def eye(n: int, m: Optional[int] = None, device=None) -> Tensor:
+    return Tensor(np.eye(n, m, dtype=np.float32), device=device)

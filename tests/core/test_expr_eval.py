@@ -1,0 +1,143 @@
+"""Expression evaluator edge cases not covered by the end-to-end suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import Session
+from repro.errors import ExecutionError
+
+
+@pytest.fixture
+def s():
+    session = Session()
+    session.sql.register_dict({
+        "i": [1, -2, 3, 0],
+        "f": [1.5, -2.5, float("nan"), 4.0],
+        "s": ["Alpha", "beta", "alpha", "Betamax"],
+        "b": [True, False, True, False],
+    }, "t")
+    return session
+
+
+def run(session, sql):
+    return session.spark.query(sql).run(toPandas=True)
+
+
+class TestNullSemantics:
+    def test_is_null_detects_nan(self, s):
+        out = run(s, "SELECT i FROM t WHERE f IS NULL")
+        assert out["i"].tolist() == [3]
+
+    def test_is_not_null(self, s):
+        out = run(s, "SELECT i FROM t WHERE f IS NOT NULL")
+        assert out["i"].tolist() == [1, -2, 0]
+
+    def test_strings_never_null(self, s):
+        assert len(run(s, "SELECT s FROM t WHERE s IS NULL")) == 0
+
+
+class TestCaseExpression:
+    def test_first_matching_when_wins(self, s):
+        out = run(s, "SELECT CASE WHEN i > 0 THEN 1 WHEN i >= 0 THEN 2 "
+                     "ELSE 3 END AS c FROM t")
+        assert out["c"].tolist() == [1, 3, 1, 2]
+
+    def test_missing_else_defaults_to_zero(self, s):
+        out = run(s, "SELECT CASE WHEN i > 0 THEN 9 END AS c FROM t")
+        assert out["c"].tolist() == [9, 0, 9, 0]
+
+    def test_case_in_where(self, s):
+        out = run(s, "SELECT i FROM t WHERE CASE WHEN b THEN i ELSE 0 END > 0")
+        assert out["i"].tolist() == [1, 3]
+
+
+class TestCast:
+    def test_float_to_int_truncates(self, s):
+        out = run(s, "SELECT CAST(f AS int) AS c FROM t WHERE i = 1")
+        assert out["c"].tolist() == [1]
+
+    def test_int_to_string(self, s):
+        out = run(s, "SELECT CAST(i AS varchar) AS c FROM t WHERE i = 3")
+        assert out["c"].tolist() == ["3"]
+
+    def test_bool_to_int(self, s):
+        out = run(s, "SELECT CAST(b AS int) AS c FROM t")
+        assert out["c"].tolist() == [1, 0, 1, 0]
+
+
+class TestLikePatterns:
+    def test_contains(self, s):
+        out = run(s, "SELECT s FROM t WHERE s LIKE '%eta%'")
+        assert out["s"].tolist() == ["beta", "Betamax"]
+
+    def test_underscore_single_char(self, s):
+        out = run(s, "SELECT s FROM t WHERE s LIKE '_lpha'")
+        assert sorted(out["s"].tolist()) == ["Alpha", "alpha"]
+
+    def test_case_sensitivity(self, s):
+        assert len(run(s, "SELECT s FROM t WHERE s LIKE 'alpha'")) == 1
+
+    def test_not_like(self, s):
+        out = run(s, "SELECT s FROM t WHERE s NOT LIKE '%a%'")
+        assert out["s"].tolist() == []
+
+
+class TestBuiltins:
+    def test_round_with_digits(self, s):
+        out = run(s, "SELECT ROUND(f, 0) AS r FROM t WHERE i = 1")
+        assert out["r"].tolist() == [2.0]
+
+    def test_least_greatest(self, s):
+        out = run(s, "SELECT LEAST(i, 0) AS lo, GREATEST(i, 0) AS hi FROM t")
+        assert out["lo"].tolist() == [0, -2, 0, 0]
+        assert out["hi"].tolist() == [1, 0, 3, 0]
+
+    def test_power_and_log(self, s):
+        out = run(s, "SELECT POW(2.0, i) AS p FROM t WHERE i = 3")
+        assert out["p"][0] == pytest.approx(8.0)
+
+    def test_length_of_strings(self, s):
+        out = run(s, "SELECT LENGTH(s) AS n FROM t ORDER BY n DESC LIMIT 1")
+        assert out["n"].tolist() == [7]       # Betamax
+
+    def test_sigmoid_builtin(self, s):
+        out = run(s, "SELECT SIGMOID(0.0 * i) AS half FROM t LIMIT 1")
+        assert out["half"][0] == pytest.approx(0.5)
+
+
+class TestArithmeticEdges:
+    def test_integer_division_promotes_to_float(self, s):
+        out = run(s, "SELECT i / 2 AS half FROM t WHERE i = 3")
+        assert out["half"][0] == pytest.approx(1.5)
+
+    def test_modulo(self, s):
+        out = run(s, "SELECT i % 2 AS m FROM t WHERE i = 3")
+        assert out["m"].tolist() == [1]
+
+    def test_unary_minus_column(self, s):
+        out = run(s, "SELECT -i AS n FROM t WHERE i = -2")
+        assert out["n"].tolist() == [2]
+
+    def test_scalar_only_expression(self, s):
+        out = run(s, "SELECT 2 + 3 * 4 AS x FROM t LIMIT 1")
+        assert out["x"].tolist() == [14]
+
+    def test_comparison_between_columns(self, s):
+        # Rows (i, f): (1, 1.5) no, (-2, -2.5) yes, (3, nan) no, (0, 4) no.
+        out = run(s, "SELECT i FROM t WHERE i > f")
+        assert out["i"].tolist() == [-2]
+
+
+class TestStringLiteralEdges:
+    def test_literal_absent_from_dictionary(self, s):
+        assert len(run(s, "SELECT s FROM t WHERE s = 'missing'")) == 0
+        assert len(run(s, "SELECT s FROM t WHERE s != 'missing'")) == 4
+
+    def test_literal_on_left_side(self, s):
+        out = run(s, "SELECT s FROM t WHERE 'beta' = s")
+        assert out["s"].tolist() == ["beta"]
+
+    def test_reversed_inequality(self, s):
+        # 'beta' <= s  <=>  s >= 'beta'
+        out = run(s, "SELECT s FROM t WHERE 'beta' <= s ORDER BY s")
+        assert out["s"].tolist() == ["beta"]

@@ -1,0 +1,162 @@
+"""Physical operators: equivalences, joins, batched UDF execution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tcr
+from repro.core.operators import equi_join_indices
+from repro.core.session import Session
+from repro.tcr.tensor import Tensor
+
+
+def _group_query(session, impl):
+    return session.spark.query(
+        "SELECT k, COUNT(*), SUM(v), AVG(v), MIN(v), MAX(v) FROM data "
+        "GROUP BY k ORDER BY k",
+        extra_config={"groupby_impl": impl},
+    ).run(toPandas=True)
+
+
+class TestAggregateEquivalence:
+    @given(st.lists(st.tuples(st.integers(0, 5),
+                              st.floats(-100, 100, allow_nan=False)),
+                    min_size=1, max_size=80))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_equals_sort(self, rows):
+        session = Session()
+        keys = np.asarray([r[0] for r in rows], dtype=np.int64)
+        values = np.asarray([r[1] for r in rows], dtype=np.float32)
+        session.sql.register_dict({"k": keys, "v": values}, "data")
+        sort_result = _group_query(session, "sort")
+        hash_result = _group_query(session, "hash")
+        assert sort_result.equals(hash_result, atol=1e-3)
+
+    @given(st.lists(st.sampled_from(["apple", "pear", "kiwi", "fig"]),
+                    min_size=1, max_size=60))
+    @settings(max_examples=30, deadline=None)
+    def test_string_group_counts_match_numpy(self, labels):
+        session = Session()
+        session.sql.register_dict(
+            {"k": labels, "v": np.ones(len(labels), dtype=np.float32)}, "data")
+        out = session.spark.query(
+            "SELECT k, COUNT(*) FROM data GROUP BY k ORDER BY k"
+        ).run(toPandas=True)
+        uniques, counts = np.unique(np.asarray(labels, dtype=object),
+                                    return_counts=True)
+        assert out["k"].tolist() == uniques.tolist()
+        assert out["COUNT(*)"].tolist() == counts.tolist()
+
+
+class TestJoinIndices:
+    def test_inner_basic(self):
+        left = np.array([1, 2, 3])
+        right = np.array([2, 2, 4])
+        li, ri = equi_join_indices(left, right)
+        assert li.tolist() == [1, 1]
+        assert sorted(right[ri].tolist()) == [2, 2]
+
+    def test_left_join_marks_unmatched(self):
+        left = np.array([1, 9])
+        right = np.array([1])
+        li, ri = equi_join_indices(left, right, keep_unmatched_left=True)
+        assert li.tolist() == [0, 1]
+        assert ri.tolist() == [0, -1]
+
+    def test_duplicates_both_sides(self):
+        left = np.array([7, 7])
+        right = np.array([7, 7, 7])
+        li, ri = equi_join_indices(left, right)
+        assert len(li) == 6
+
+    def test_empty_sides(self):
+        li, ri = equi_join_indices(np.array([], dtype=np.int64),
+                                   np.array([1, 2]))
+        assert len(li) == 0
+        li, ri = equi_join_indices(np.array([1]), np.array([], dtype=np.int64))
+        assert len(li) == 0
+
+    @given(st.lists(st.integers(0, 8), max_size=30),
+           st.lists(st.integers(0, 8), max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_nested_loop_reference(self, left, right):
+        left_arr = np.asarray(left, dtype=np.int64)
+        right_arr = np.asarray(right, dtype=np.int64)
+        li, ri = equi_join_indices(left_arr, right_arr)
+        got = sorted(zip(li.tolist(), ri.tolist()))
+        want = sorted(
+            (i, j)
+            for i, lv in enumerate(left)
+            for j, rv in enumerate(right)
+            if lv == rv
+        )
+        assert got == want
+
+
+class TestMultiKeyJoin:
+    def test_two_key_join(self):
+        session = Session()
+        session.sql.register_dict(
+            {"a": [1, 1, 2], "b": ["x", "y", "x"], "v": [10.0, 20.0, 30.0]}, "l")
+        session.sql.register_dict(
+            {"a": [1, 2], "b": ["y", "x"], "w": [5.0, 6.0]}, "r")
+        out = session.spark.query(
+            "SELECT l.v, r.w FROM l JOIN r ON l.a = r.a AND l.b = r.b "
+            "ORDER BY l.v"
+        ).run(toPandas=True)
+        assert out["v"].tolist() == [20.0, 30.0]
+        assert out["w"].tolist() == [5.0, 6.0]
+
+
+class TestDeviceBatchedUdf:
+    def _run(self, device, n=40):
+        session = Session()
+        calls = []
+
+        @session.udf("float", name="probe")
+        def probe(x):
+            calls.append(x.shape[0])
+            return x * 2.0
+
+        session.sql.register_dict(
+            {"x": np.arange(n, dtype=np.float32)}, "t", device=device)
+        out = session.spark.query("SELECT probe(x) AS y FROM t",
+                                  device=device).run(toPandas=True)
+        return out, calls
+
+    def test_cpu_uses_micro_batches(self):
+        out, calls = self._run("cpu")
+        assert len(calls) > 1                       # chunked execution
+        assert max(calls) <= tcr.CPU.profile.exec_batch_rows
+        np.testing.assert_allclose(out["y"], np.arange(40) * 2.0)
+
+    def test_cuda_uses_one_large_batch(self):
+        out, calls = self._run("cuda")
+        assert calls == [40]
+        np.testing.assert_allclose(out["y"], np.arange(40) * 2.0)
+
+    def test_results_identical_across_devices(self):
+        cpu_out, _ = self._run("cpu")
+        gpu_out, _ = self._run("cuda")
+        assert cpu_out.equals(gpu_out)
+
+    def test_training_mode_never_chunks(self):
+        session = Session()
+        model = tcr.nn.Linear(1, 1)
+        calls = []
+
+        @session.udf("float", name="scored", modules=[model])
+        def scored(x):
+            calls.append(x.shape[0])
+            return model(x.reshape(-1, 1)).reshape(-1)
+
+        session.sql.register_dict(
+            {"x": np.arange(32, dtype=np.float32)}, "t")
+        query = session.spark.query(
+            "SELECT scored(x) AS y FROM t",
+            extra_config={"trainable": True},
+        )
+        query.run()
+        # Gradient taping requires the whole batch in one call.
+        assert calls == [32]

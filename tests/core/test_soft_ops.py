@@ -1,0 +1,126 @@
+"""Soft operators: counts match expectations, gradients flow, exact swap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tcr
+from repro.core.soft import (
+    dense_domain_columns,
+    joint_membership,
+    soft_count,
+    soft_groupby_avg,
+    soft_groupby_count,
+    soft_groupby_sum,
+)
+from repro.errors import ExecutionError
+from repro.tcr.tensor import Tensor
+
+
+def random_probs(rng, n, k):
+    raw = rng.random((n, k)).astype(np.float32) + 1e-3
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+class TestSoftCount:
+    def test_one_hot_rows_give_exact_counts(self):
+        probs = Tensor(np.array([[1, 0], [1, 0], [0, 1]], dtype=np.float32))
+        np.testing.assert_allclose(soft_count(probs).data, [2.0, 1.0])
+
+    def test_counts_sum_to_row_count(self, rng):
+        probs = Tensor(random_probs(rng, 50, 7))
+        assert soft_count(probs).data.sum() == pytest.approx(50.0, rel=1e-4)
+
+    def test_weights_scale_counts(self):
+        probs = Tensor(np.array([[1.0, 0.0], [0.0, 1.0]], dtype=np.float32))
+        weights = Tensor(np.array([0.5, 2.0], dtype=np.float32))
+        np.testing.assert_allclose(soft_count(probs, weights).data, [0.5, 2.0])
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ExecutionError):
+            soft_count(tcr.zeros(4))
+
+    def test_gradient_is_row_weight(self):
+        probs = tcr.tensor([[0.3, 0.7], [0.6, 0.4]], requires_grad=True)
+        soft_count(probs).sum().backward()
+        np.testing.assert_allclose(probs.grad, np.ones((2, 2)))
+
+
+class TestJointMembership:
+    def test_two_columns_matches_paper_matmul(self, rng):
+        p1 = random_probs(rng, 20, 10)
+        p2 = random_probs(rng, 20, 2)
+        counts = soft_groupby_count([Tensor(p1), Tensor(p2)]).data
+        want = (p1.T @ p2).reshape(-1)          # digit-major flattening
+        np.testing.assert_allclose(counts, want, rtol=1e-5)
+
+    def test_three_columns(self, rng):
+        tensors = [Tensor(random_probs(rng, 12, k)) for k in (2, 3, 4)]
+        counts = soft_groupby_count(tensors).data
+        assert counts.shape == (24,)
+        assert counts.sum() == pytest.approx(12.0, rel=1e-4)
+
+    def test_membership_rows_sum_to_one(self, rng):
+        tensors = [Tensor(random_probs(rng, 9, k)) for k in (10, 2)]
+        membership = joint_membership(tensors).data
+        np.testing.assert_allclose(membership.sum(axis=1), 1.0, rtol=1e-5)
+
+    def test_row_count_mismatch_rejected(self, rng):
+        with pytest.raises(ExecutionError):
+            joint_membership([Tensor(random_probs(rng, 3, 2)),
+                              Tensor(random_probs(rng, 4, 2))])
+
+    @given(st.integers(1, 30), st.integers(2, 6), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_total_mass_invariant(self, n, k1, k2):
+        rng = np.random.default_rng(n * 100 + k1 * 10 + k2)
+        tensors = [Tensor(random_probs(rng, n, k1)),
+                   Tensor(random_probs(rng, n, k2))]
+        counts = soft_groupby_count(tensors).data
+        # Probability mass is conserved: soft counts always total n.
+        assert counts.sum() == pytest.approx(float(n), rel=1e-4)
+
+    def test_hard_inputs_equal_exact_groupby(self, rng):
+        digits = rng.integers(0, 4, size=40)
+        sizes = rng.integers(0, 2, size=40)
+        p1 = np.eye(4, dtype=np.float32)[digits]
+        p2 = np.eye(2, dtype=np.float32)[sizes]
+        counts = soft_groupby_count([Tensor(p1), Tensor(p2)]).data
+        want = np.zeros((4, 2))
+        np.add.at(want, (digits, sizes), 1.0)
+        np.testing.assert_allclose(counts, want.reshape(-1), rtol=1e-5)
+
+
+class TestSoftSumAvg:
+    def test_soft_sum_on_hard_inputs(self, rng):
+        labels = rng.integers(0, 3, size=30)
+        values = rng.normal(size=30).astype(np.float32)
+        probs = np.eye(3, dtype=np.float32)[labels]
+        got = soft_groupby_sum([Tensor(probs)], Tensor(values)).data
+        want = np.array([values[labels == c].sum() for c in range(3)])
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-5)
+
+    def test_soft_avg(self, rng):
+        labels = np.array([0, 0, 1])
+        values = np.array([2.0, 4.0, 10.0], dtype=np.float32)
+        probs = np.eye(2, dtype=np.float32)[labels]
+        got = soft_groupby_avg([Tensor(probs)], Tensor(values)).data
+        np.testing.assert_allclose(got, [3.0, 10.0], rtol=1e-4)
+
+    def test_gradients_reach_probabilities(self):
+        probs = tcr.tensor([[0.5, 0.5], [0.2, 0.8]], requires_grad=True)
+        values = tcr.tensor([1.0, 3.0])
+        soft_groupby_sum([probs], values).sum().backward()
+        assert probs.grad is not None
+
+
+class TestDenseDomain:
+    def test_cross_product_order_digit_major(self):
+        cols = dense_domain_columns([np.arange(3), np.array(["S", "L"])])
+        assert cols[0].tolist() == [0, 0, 1, 1, 2, 2]
+        assert cols[1].tolist() == ["S", "L", "S", "L", "S", "L"]
+
+    def test_single_domain(self):
+        (col,) = dense_domain_columns([np.array([5, 7])])
+        assert col.tolist() == [5, 7]

@@ -1,0 +1,187 @@
+"""UDF/TVF registration, schema parsing, module discovery, invocation."""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.core.session import Session
+from repro.core.udf import (
+    FunctionRegistry,
+    UdfInfo,
+    collect_modules,
+    parse_output_schema,
+)
+from repro.errors import UdfError
+from repro.storage import types as dt
+from repro.storage.encodings import PEEncoding
+from repro.tcr import nn
+from repro.tcr.tensor import Tensor
+
+
+class TestSchemaParsing:
+    def test_named_columns(self):
+        schema = parse_output_schema("Digit float, Size float")
+        assert schema == [("Digit", dt.FLOAT), ("Size", dt.FLOAT)]
+
+    def test_bare_type(self):
+        schema = parse_output_schema("float")
+        assert schema == [("col0", dt.FLOAT)]
+
+    def test_type_aliases(self):
+        schema = parse_output_schema("a int, b double, c varchar, d boolean")
+        assert [t for _, t in schema] == [dt.INT, dt.FLOAT, dt.STRING, dt.BOOL]
+
+    def test_bad_schemas_rejected(self):
+        with pytest.raises(UdfError):
+            parse_output_schema("")
+        with pytest.raises(UdfError):
+            parse_output_schema("a b c")
+        with pytest.raises(UdfError):
+            parse_output_schema("x notatype")
+
+
+class TestModuleDiscovery:
+    def test_finds_globals(self):
+        model = nn.Linear(2, 2)
+        namespace = {"model": model}
+        exec("def f(x):\n    return model(x)", namespace)
+        found = collect_modules(namespace["f"])
+        assert found == [model]
+
+    def test_finds_closures(self):
+        model = nn.Linear(2, 2)
+
+        def make():
+            inner_model = model
+
+            def f(x):
+                return inner_model(x)
+            return f
+
+        assert collect_modules(make()) == [model]
+
+    def test_deduplicates(self):
+        model = nn.Linear(2, 2)
+        namespace = {"a": model, "b": model}
+        exec("def f(x):\n    return a(b(x))", namespace)
+        assert len(collect_modules(namespace["f"])) == 1
+
+    def test_session_decorator_attaches_info(self):
+        session = Session()
+        model = nn.Linear(3, 2)
+
+        @session.udf("float", modules=[model])
+        def my_udf(x):
+            return model(x)
+
+        assert my_udf.udf_info.name == "my_udf"
+        assert my_udf.udf_info.modules == [model]
+        assert session.functions.lookup("MY_UDF") is my_udf.udf_info
+
+    def test_auto_discovery_through_decorator(self):
+        session = Session()
+        model = nn.Linear(3, 2)
+
+        @session.udf("float")
+        def auto_udf(x):
+            return model(x)
+
+        assert auto_udf.udf_info.modules == [model]
+
+
+class TestInvocation:
+    def _info(self, func, schema="float"):
+        return UdfInfo("f", func, parse_output_schema(schema), [])
+
+    def test_tensor_output_wrapped(self):
+        info = self._info(lambda x: x * 2)
+        (col,) = info.invoke([tcr.tensor([1.0, 2.0])])
+        assert col.decode().tolist() == [2.0, 4.0]
+
+    def test_tuple_output_multi_column(self):
+        info = self._info(lambda x: (x, x * 2), "A float, B float")
+        cols = info.invoke([tcr.tensor([1.0])])
+        assert [c.name for c in cols] == ["A", "B"]
+
+    def test_pe_output_keeps_encoding(self):
+        info = self._info(lambda x: PEEncoding.encode(x), "P float")
+        (col,) = info.invoke([tcr.tensor([[1.0, 2.0]])])
+        assert col.data_type.kind == "prob"
+
+    def test_wrong_column_count_rejected(self):
+        info = self._info(lambda x: (x, x), "A float")
+        with pytest.raises(UdfError, match="returned 2 columns"):
+            info.invoke([tcr.tensor([1.0])])
+
+    def test_exception_wrapped_with_name(self):
+        def boom(x):
+            raise RuntimeError("inner failure")
+
+        info = self._info(boom)
+        with pytest.raises(UdfError, match="inner failure"):
+            info.invoke([tcr.tensor([1.0])])
+
+    def test_registry_replace_and_flag(self):
+        registry = FunctionRegistry()
+        info = UdfInfo("f", lambda: None, parse_output_schema("float"), [])
+        registry.register(info)
+        registry.register(info)                      # replace ok
+        with pytest.raises(UdfError):
+            registry.register(info, replace=False)
+
+    def test_is_table_valued(self):
+        single = UdfInfo("f", None, parse_output_schema("float"), [])
+        multi = UdfInfo("g", None, parse_output_schema("a float, b int"), [])
+        assert not single.is_table_valued
+        assert multi.is_table_valued
+
+
+class TestUdfInQueries:
+    def test_scalar_udf_row_count_checked(self):
+        session = Session()
+        session.sql.register_dict({"x": [1.0, 2.0, 3.0]}, "t")
+
+        @session.udf("float", name="broken")
+        def broken(x):
+            return x[0:0]          # drops rows regardless of batch size
+
+        with pytest.raises(Exception, match="rows"):
+            session.spark.query("SELECT broken(x) FROM t").run()
+
+    def test_udf_receives_string_literal(self):
+        session = Session()
+        session.sql.register_dict({"x": [1.0, 2.0]}, "t")
+        seen = {}
+
+        @session.udf("float", name="capture")
+        def capture(prefix, x):
+            seen["prefix"] = prefix
+            return x
+
+        session.spark.query("SELECT capture('hello', x) FROM t").run()
+        assert seen["prefix"] == "hello"
+
+    def test_udf_receives_encoded_tensor_for_strings(self):
+        session = Session()
+        session.sql.register_dict({"s": ["a", "b"]}, "t")
+        seen = {}
+
+        @session.udf("int", name="strlen")
+        def strlen(col):
+            seen["type"] = type(col).__name__
+            strings = col.decode()
+            return Tensor(np.asarray([len(s) for s in strings], dtype=np.int64))
+
+        session.spark.query("SELECT strlen(s) FROM t").run()
+        assert seen["type"] == "EncodedTensor"
+
+    def test_tvf_changing_cardinality(self):
+        session = Session()
+        session.sql.register_tensor(tcr.ones(2, 4), "blob")
+
+        @session.udf("part float", name="explode")
+        def explode(x):
+            return x.reshape(-1)
+
+        out = session.spark.query("SELECT part FROM explode(blob)").run(toPandas=True)
+        assert len(out) == 8

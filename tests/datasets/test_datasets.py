@@ -1,0 +1,206 @@
+"""Dataset generators: shapes, label consistency, determinism."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    IRIS_FEATURES,
+    LARGE,
+    SMALL,
+    fonts,
+    group_index,
+    laplace_counts,
+    make_adult,
+    make_attachments,
+    make_bags,
+    make_digits,
+    make_documents,
+    make_grids,
+    make_iris,
+    render_digit,
+    tiles_of,
+    train_test_split,
+)
+
+
+class TestFonts:
+    def test_glyph_shape_and_scale(self):
+        assert fonts.glyph("5").shape == (7, 5)
+        assert fonts.glyph("5", scale=3).shape == (21, 15)
+
+    def test_distinct_digits_have_distinct_bitmaps(self):
+        bitmaps = [fonts.glyph(str(d)).tobytes() for d in range(10)]
+        assert len(set(bitmaps)) == 10
+
+    def test_render_text_width(self):
+        text = fonts.render_text("AB", scale=2, spacing=1)
+        assert text.shape == (14, 24)
+
+    def test_unknown_char_renders_blank(self):
+        assert fonts.glyph("~").sum() == 0
+
+    def test_paste_clips_at_border(self):
+        canvas = np.zeros((5, 5), dtype=np.float32)
+        fonts.paste(canvas, np.ones((7, 7), dtype=np.float32), 3, 3)
+        assert canvas[:3, :3].sum() == 0
+        assert canvas[3:, 3:].sum() == 4
+
+
+class TestDigits:
+    def test_shapes_and_ranges(self):
+        data = make_digits(20, np.random.default_rng(0))
+        assert data.images.shape == (20, 1, 28, 28)
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+        assert set(np.unique(data.sizes)).issubset({0, 1})
+
+    def test_size_classes_differ_in_ink(self):
+        rng = np.random.default_rng(0)
+        small = np.mean([render_digit(5, SMALL, rng).sum() for _ in range(10)])
+        large = np.mean([render_digit(5, LARGE, rng).sum() for _ in range(10)])
+        assert large > small * 1.5
+
+    def test_fixed_size_class(self):
+        data = make_digits(10, np.random.default_rng(0), size_class=LARGE)
+        assert (data.sizes == LARGE).all()
+
+    def test_determinism(self):
+        a = make_digits(5, np.random.default_rng(7)).images
+        b = make_digits(5, np.random.default_rng(7)).images
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGrids:
+    def test_counts_match_tiles(self):
+        data = make_grids(8, np.random.default_rng(0))
+        for i in range(8):
+            counts = np.zeros(20)
+            for d, s in zip(data.tile_digits[i], data.tile_sizes[i]):
+                counts[group_index(d, s)] += 1
+            np.testing.assert_array_equal(data.counts[i], counts)
+
+    def test_counts_sum_to_nine(self):
+        data = make_grids(5, np.random.default_rng(1))
+        np.testing.assert_array_equal(data.counts.sum(axis=1), 9.0)
+
+    def test_tiles_of_layout(self):
+        data = make_grids(1, np.random.default_rng(0))
+        tiles = tiles_of(data.grids[0])
+        assert tiles.shape == (9, 1, 28, 28)
+        np.testing.assert_array_equal(tiles[0, 0],
+                                      data.grids[0, 0, :28, :28])
+        np.testing.assert_array_equal(tiles[5, 0],
+                                      data.grids[0, 0, 28:56, 56:84])
+
+
+class TestAdult:
+    def test_schema_and_types(self):
+        data = make_adult(200, np.random.default_rng(0))
+        assert data.features.shape == (200, 5)
+        assert set(np.unique(data.labels)).issubset({0, 1})
+        assert "age" in data.frame.columns
+
+    def test_features_learnable_by_linear_model(self):
+        # The generator guarantees linear learnability up to its ~8% label
+        # noise plus the logistic sampling noise, so a fitted linear model
+        # must land well below the ~0.35 majority-class error.
+        data = make_adult(2000, np.random.default_rng(0))
+        from repro.baselines.regression import train_non_llp
+        model = train_non_llp(data.features, data.labels, epochs=20)
+        majority_error = min(data.labels.mean(), 1 - data.labels.mean())
+        assert model.error(data.features, data.labels) < 0.30
+        assert model.error(data.features, data.labels) < majority_error
+
+    def test_split_partitions(self):
+        data = make_adult(100, np.random.default_rng(0))
+        (tx, ty), (sx, sy) = train_test_split(data, test_fraction=0.25)
+        assert len(ty) == 75 and len(sy) == 25
+        assert tx.shape[1] == sx.shape[1] == 5
+
+
+class TestBags:
+    @given(st.integers(1, 64))
+    @settings(max_examples=20, deadline=None)
+    def test_counts_conserved(self, bag_size):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(130, 3)).astype(np.float32)
+        y = rng.integers(0, 2, size=130)
+        bags = make_bags(x, y, bag_size, rng=rng)
+        usable = (130 // bag_size) * bag_size
+        assert sum(int(b.counts.sum()) for b in bags) == usable
+        assert all(b.features.shape == (bag_size, 3) for b in bags)
+
+    def test_bag_size_one_has_unit_counts(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(10, 2)).astype(np.float32)
+        y = rng.integers(0, 2, size=10)
+        for bag in make_bags(x, y, 1, rng=rng):
+            assert bag.counts.sum() == 1.0
+
+    def test_invalid_bag_size(self):
+        with pytest.raises(ValueError):
+            make_bags(np.zeros((4, 2)), np.zeros(4, dtype=int), 0)
+
+    def test_laplace_noise_scale(self):
+        rng = np.random.default_rng(0)
+        x = np.zeros((512, 2), dtype=np.float32)
+        y = np.zeros(512, dtype=np.int64)
+        bags = make_bags(x, y, 8, rng=rng)
+        noisy = laplace_counts(bags, epsilon=0.1, rng=np.random.default_rng(1))
+        deltas = np.concatenate([n.counts - b.counts
+                                 for n, b in zip(noisy, bags)])
+        # Laplace(scale=10): mean |delta| = 10.
+        assert 6.0 < np.abs(deltas).mean() < 14.0
+
+    def test_laplace_requires_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_counts([], epsilon=0.0)
+
+
+class TestAttachments:
+    def test_composition(self):
+        data = make_attachments(8, 4, 4, rng=np.random.default_rng(0))
+        assert data.images.shape == (16, 3, 200, 300)
+        labels = data.labels.tolist()
+        assert labels.count("photograph") == 8
+        assert labels.count("receipt") == 4
+        assert labels.count("logo") == 4
+        assert len(data.captions) == 16
+
+    def test_captions_mention_subjects(self):
+        data = make_attachments(4, 2, 2, rng=np.random.default_rng(0))
+        for caption, subject in zip(data.captions, data.subjects):
+            assert subject.lower() in caption.lower()
+
+    def test_pixel_range(self):
+        data = make_attachments(2, 2, 2, rng=np.random.default_rng(0))
+        assert data.images.min() >= 0.0 and data.images.max() <= 1.0
+
+    def test_receipts_brighter_than_photos(self):
+        data = make_attachments(6, 6, 0, rng=np.random.default_rng(0))
+        receipts = data.images[data.labels == "receipt"].mean()
+        photos = data.images[data.labels == "photograph"].mean()
+        assert receipts > photos
+
+
+class TestDocumentsIris:
+    def test_iris_statistics(self):
+        iris = make_iris(150, np.random.default_rng(0))
+        assert len(iris) == 150
+        assert iris.columns[:4] == IRIS_FEATURES
+        petal = iris["PetalLength"]
+        setosa = petal[:50].mean()
+        virginica = petal[100:].mean()
+        assert virginica > setosa + 2.0       # species clusters separated
+
+    def test_documents_unique_timestamps_and_truth(self):
+        docs = make_documents(n=12, rows_per_doc=5)
+        assert len(set(docs.timestamps.tolist())) == 12
+        assert "2022:08:10" in docs.timestamps.tolist()
+        assert all(len(t) == 5 for t in docs.truth)
+
+    def test_document_images_white_background(self):
+        docs = make_documents(n=2, rows_per_doc=3)
+        assert docs.images.max() <= 1.0
+        assert docs.images.mean() > 0.8       # mostly page, some ink

@@ -1,0 +1,67 @@
+"""OCR pipeline: detection, recognition, end-to-end extraction."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.documents import make_documents, render_dataframe_image
+from repro.datasets.fonts import glyph, render_text
+from repro.datasets.iris import FEATURES
+from repro.errors import ExecutionError
+from repro.ml.models.ocr import CharacterOCR, TableDetector, TableExtractor
+from repro.storage.frame import DataFrame
+
+
+class TestTableDetector:
+    def test_finds_rows_and_columns(self):
+        frame = DataFrame({"A": [1.5, 2.5], "B": [3.5, 4.5]})
+        image = render_dataframe_image(frame, ["A", "B"])
+        ink, rows, cols = TableDetector().detect(image)
+        assert len(rows) == 3            # header + 2 data rows
+        assert len(cols) == 2
+
+    def test_empty_image_raises(self):
+        blank = np.ones((1, 60, 60), dtype=np.float32)
+        with pytest.raises(ExecutionError):
+            TableDetector().detect(blank)
+
+
+class TestCharacterOCR:
+    def test_classifies_rendered_digits(self):
+        ocr = CharacterOCR(scale=2)
+        for text in ["0123", "456", "789", "3.5", "-2.0"]:
+            ink = render_text(text, scale=2)
+            assert ocr.read_cell(ink) == text
+
+    def test_robust_to_pixel_shift(self):
+        ocr = CharacterOCR(scale=2, shifts=1)
+        ink = np.pad(render_text("7.2", scale=2), ((1, 0), (1, 0)))
+        assert ocr.read_cell(ink) == "7.2"
+
+    def test_empty_cell_returns_empty(self):
+        assert CharacterOCR().read_cell(np.zeros((14, 20), dtype=np.float32)) == ""
+
+
+class TestTableExtractor:
+    def test_exact_roundtrip_single_document(self):
+        frame = DataFrame({name: np.round(
+            np.random.default_rng(0).uniform(0.5, 9.5, 5), 1).astype(np.float32)
+            for name in FEATURES})
+        image = render_dataframe_image(frame, FEATURES)
+        rows = TableExtractor().extract(image)
+        got = np.asarray(rows, dtype=np.float32)
+        want = np.stack([frame[name] for name in FEATURES], axis=1)
+        np.testing.assert_allclose(got, want, atol=1e-3)
+
+    def test_all_documents_roundtrip(self):
+        docs = make_documents(n=6, rows_per_doc=8)
+        extractor = TableExtractor()
+        for i in range(len(docs)):
+            got = np.asarray(extractor.extract(docs.images[i]), dtype=np.float32)
+            want = np.stack([docs.truth[i][name] for name in FEATURES], axis=1)
+            np.testing.assert_allclose(got, want, atol=1e-3,
+                                       err_msg=f"document {i} mismatch")
+
+    def test_extract_columns_batches(self):
+        docs = make_documents(n=3, rows_per_doc=4)
+        values = TableExtractor().extract_columns(docs.images)
+        assert values.shape == (12, 4)

@@ -1,0 +1,55 @@
+"""Tokenizer behaviour."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Where")[0] == ("KEYWORD", "SELECT")
+        assert kinds("select FROM Where")[2] == ("KEYWORD", "WHERE")
+
+    def test_identifiers_preserve_case(self):
+        assert ("IDENT", "MyTable") in kinds("SELECT x FROM MyTable")
+
+    def test_numbers(self):
+        assert kinds("1 2.5 .5 1e3 2.5E-2") == [
+            ("NUMBER", "1"), ("NUMBER", "2.5"), ("NUMBER", ".5"),
+            ("NUMBER", "1e3"), ("NUMBER", "2.5E-2"),
+        ]
+
+    def test_single_and_double_quoted_strings(self):
+        assert kinds("'abc'") == [("STRING", "abc")]
+        assert kinds('"2022:08:10"') == [("STRING", "2022:08:10")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds("'it''s'") == [("STRING", "it's")]
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_symbols_longest_match(self):
+        values = [v for _, v in kinds("a <> b != c <= d >= e")]
+        assert "<>" in values and "!=" in values
+        assert "<=" in values and ">=" in values
+
+    def test_comments_skipped(self):
+        tokens = kinds("SELECT 1 -- a comment\n + 2")
+        assert ("NUMBER", "2") in tokens
+
+    def test_backtick_identifiers(self):
+        assert ("IDENT", "weird name") in kinds("SELECT `weird name`")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("SELECT")[-1].kind == "EOF"

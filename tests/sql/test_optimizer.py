@@ -1,0 +1,160 @@
+"""Optimizer rules: folding, pushdown/reordering, pruning."""
+
+import numpy as np
+import pytest
+
+from repro.core.session import Session
+from repro.sql import bound as b
+from repro.sql import logical
+from repro.sql.binder import Binder
+from repro.sql.optimizer import optimize
+from repro.sql.optimizer.folding import fold
+from repro.sql.parser import parse
+from repro.storage import types as dt
+
+
+@pytest.fixture
+def opt_session():
+    s = Session()
+    s.sql.register_dict(
+        {"a": [1, 2, 3], "b": [1.0, 2.0, 3.0], "s": ["x", "y", "z"],
+         "img": np.zeros((3, 2, 4, 4), dtype=np.float32)}, "t"
+    )
+    s.sql.register_dict({"a": [1, 2], "c": [5.0, 6.0]}, "u")
+
+    @s.udf("float", name="expensive")
+    def expensive(x):
+        return x
+
+    return s
+
+
+def bind(session, sql, **config):
+    plan = Binder(session.catalog, session.functions).bind(parse(sql))
+    return optimize(plan, config or None)
+
+
+def find(plan, kind):
+    found = []
+
+    def walk(node):
+        if isinstance(node, kind):
+            found.append(node)
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return found
+
+
+class TestFolding:
+    def test_arith_folds(self):
+        expr = b.BBinary("+", b.BLiteral(2, dt.INT), b.BLiteral(3, dt.INT), dt.INT)
+        assert fold(expr).value == 5
+
+    def test_comparison_folds(self):
+        expr = b.BBinary("<", b.BLiteral(2, dt.INT), b.BLiteral(3, dt.INT), dt.BOOL)
+        assert fold(expr).value is True
+
+    def test_and_short_circuit_true(self):
+        col = b.BColumn(0, "a", dt.BOOL)
+        expr = b.BBinary("AND", b.BLiteral(True, dt.BOOL), col, dt.BOOL)
+        assert fold(expr) is col
+
+    def test_and_short_circuit_false(self):
+        col = b.BColumn(0, "a", dt.BOOL)
+        expr = b.BBinary("AND", col, b.BLiteral(False, dt.BOOL), dt.BOOL)
+        assert fold(expr).value is False
+
+    def test_or_short_circuit(self):
+        col = b.BColumn(0, "a", dt.BOOL)
+        expr = b.BBinary("OR", b.BLiteral(True, dt.BOOL), col, dt.BOOL)
+        assert fold(expr).value is True
+
+    def test_nested_folding_in_plan(self, opt_session):
+        plan = bind(opt_session, "SELECT a FROM t WHERE a > 1 + 2")
+        filters = find(plan, logical.Filter)
+        assert filters
+        predicate = filters[0].predicate
+        assert isinstance(predicate.right, b.BLiteral)
+        assert predicate.right.value == 3
+
+
+class TestPushdown:
+    def test_filter_below_projection(self, opt_session):
+        plan = bind(opt_session,
+                    "SELECT x FROM (SELECT a AS x, b FROM t) WHERE x > 1")
+        # Filter must sit below the outer projection, directly over the scan.
+        filters = find(plan, logical.Filter)
+        assert filters
+        assert isinstance(filters[0].input, (logical.Scan, logical.Project))
+        scans_under_filter = find(filters[0], logical.Scan)
+        assert scans_under_filter
+
+    def test_filters_merge(self, opt_session):
+        plan = bind(opt_session,
+                    "SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) WHERE x < 5")
+        assert len(find(plan, logical.Filter)) == 1
+
+    def test_join_conjunct_routing(self, opt_session):
+        plan = bind(opt_session,
+                    "SELECT t.s FROM t JOIN u ON t.a = u.a "
+                    "WHERE t.b > 1 AND u.c < 6")
+        join = find(plan, logical.JoinPlan)[0]
+        # Each side should have received its own filter.
+        assert find(join.left, logical.Filter)
+        assert find(join.right, logical.Filter)
+
+    def test_cheap_predicate_ordered_before_udf(self, opt_session):
+        plan = bind(opt_session,
+                    "SELECT a FROM t WHERE expensive(b) > 0 AND a = 1")
+        predicate = find(plan, logical.Filter)[0].predicate
+        # AND tree: left conjunct must be the cheap one.
+        assert isinstance(predicate, b.BBinary) and predicate.op == "AND"
+        assert not predicate.left.contains_udf()
+        assert predicate.right.contains_udf()
+
+    def test_pushdown_can_be_disabled(self, opt_session):
+        plan = bind(opt_session,
+                    "SELECT x FROM (SELECT a AS x FROM t WHERE a > 0) WHERE x < 5",
+                    disable_rules=("pushdown", "prune"))
+        assert len(find(plan, logical.Filter)) == 2
+
+
+class TestPruning:
+    def test_scan_narrowed_to_used_columns(self, opt_session):
+        plan = bind(opt_session, "SELECT a FROM t WHERE b > 1")
+        scan = find(plan, logical.Scan)[0]
+        parent_projects = find(plan, logical.Project)
+        # Some projection above the scan keeps only {a, b} (img, s dropped).
+        narrowest = min(
+            (p for p in parent_projects if find(p, logical.Scan)),
+            key=lambda p: len(p.schema),
+        )
+        kept = {name for name, _ in narrowest.schema}
+        assert "img" not in kept
+        assert "s" not in kept
+
+    def test_aggregate_input_pruned(self, opt_session):
+        plan = bind(opt_session, "SELECT s, COUNT(*) FROM t GROUP BY s")
+        agg = find(plan, logical.Aggregate)[0]
+        assert len(agg.input.schema) == 1        # only the group key column
+
+    def test_tensor_column_never_chosen_for_counting(self, opt_session):
+        plan = bind(opt_session, "SELECT COUNT(*) FROM t")
+        agg = find(plan, logical.Aggregate)[0]
+        (name, typ), = agg.input.schema
+        assert typ.kind != "tensor"
+
+    def test_plan_still_executes_after_pruning(self, opt_session):
+        result = opt_session.spark.query(
+            "SELECT s, COUNT(*) FROM t WHERE a >= 2 GROUP BY s ORDER BY s"
+        ).run(toPandas=True)
+        assert result["s"].tolist() == ["y", "z"]
+        assert result["COUNT(*)"].tolist() == [1, 1]
+
+    def test_join_pruning_keeps_keys(self, opt_session):
+        result = opt_session.spark.query(
+            "SELECT t.s FROM t JOIN u ON t.a = u.a ORDER BY t.s"
+        ).run(toPandas=True)
+        assert result["s"].tolist() == ["x", "y"]

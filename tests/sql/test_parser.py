@@ -1,0 +1,195 @@
+"""Parser: statement shapes, precedence, the paper's listings."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.sql import nodes
+from repro.sql.parser import parse
+
+
+class TestBasicSelect:
+    def test_select_star(self):
+        stmt = parse("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, nodes.Star)
+        assert isinstance(stmt.from_clause, nodes.TableRef)
+
+    def test_aliases(self):
+        stmt = parse("SELECT a AS x, b y FROM t AS u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.from_clause.alias == "u"
+
+    def test_qualified_columns(self):
+        stmt = parse("SELECT t.a FROM t")
+        ref = stmt.items[0].expr
+        assert ref.table == "t" and ref.name == "a"
+
+    def test_limit_offset(self):
+        stmt = parse("SELECT a FROM t LIMIT 5 OFFSET 2")
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+
+    def test_order_by_directions(self):
+        stmt = parse("SELECT a FROM t ORDER BY a DESC, b")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+
+    def test_group_by_and_having(self):
+        stmt = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_trailing_semicolon_ok(self):
+        parse("SELECT a FROM t;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t extra nonsense ,")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        expr = parse("SELECT 1 + 2 * 3 FROM t").items[0].expr
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        stmt = parse("SELECT a FROM t WHERE x = 1 OR y = 2 AND z = 3")
+        assert stmt.where.op == "OR"
+        assert stmt.where.right.op == "AND"
+
+    def test_parentheses_override(self):
+        expr = parse("SELECT (1 + 2) * 3 FROM t").items[0].expr
+        assert expr.op == "*"
+
+    def test_count_star_vs_multiplication(self):
+        call = parse("SELECT COUNT(*) FROM t").items[0].expr
+        assert isinstance(call, nodes.FuncCall)
+        assert isinstance(call.args[0], nodes.Star)
+        mul = parse("SELECT a * b FROM t").items[0].expr
+        assert mul.op == "*"
+
+    def test_unary_minus(self):
+        expr = parse("SELECT -a * 2 FROM t").items[0].expr
+        assert expr.op == "*"
+        assert isinstance(expr.left, nodes.UnaryOp)
+
+    def test_between_in_like_is_null(self):
+        stmt = parse(
+            "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1, 2) "
+            "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)"
+        )
+        text = str(stmt.where)
+        conjuncts = []
+        def collect(e):
+            if isinstance(e, nodes.BinaryOp) and e.op == "AND":
+                collect(e.left)
+                collect(e.right)
+            else:
+                conjuncts.append(e)
+        collect(stmt.where)
+        kinds = {type(c).__name__ for c in conjuncts}
+        assert kinds == {"Between", "InList", "Like", "IsNull"}
+        negated_in = [c for c in conjuncts
+                      if isinstance(c, nodes.InList) and c.negated]
+        assert len(negated_in) == 1
+
+    def test_case_when(self):
+        expr = parse(
+            "SELECT CASE WHEN a > 1 THEN 10 WHEN a > 0 THEN 5 ELSE 0 END FROM t"
+        ).items[0].expr
+        assert isinstance(expr, nodes.Case)
+        assert len(expr.whens) == 2
+        assert expr.else_ is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT CASE ELSE 1 END FROM t")
+
+    def test_cast(self):
+        expr = parse("SELECT CAST(a AS float) FROM t").items[0].expr
+        assert isinstance(expr, nodes.Cast)
+        assert expr.type_name == "float"
+
+    def test_boolean_and_null_literals(self):
+        items = parse("SELECT TRUE, FALSE, NULL FROM t").items
+        assert items[0].expr.value is True
+        assert items[1].expr.value is False
+        assert items[2].expr.value is None
+
+    def test_scientific_number_literal(self):
+        expr = parse("SELECT 1.5e2 FROM t").items[0].expr
+        assert expr.value == 150.0
+
+
+class TestFromClause:
+    def test_join_with_on(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y")
+        join = stmt.from_clause
+        assert isinstance(join, nodes.Join)
+        assert join.kind == "INNER"
+
+    def test_left_outer_join(self):
+        join = parse("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.y").from_clause
+        assert join.kind == "LEFT"
+
+    def test_cross_join_no_condition(self):
+        join = parse("SELECT * FROM a CROSS JOIN b").from_clause
+        assert join.kind == "CROSS"
+        assert join.condition is None
+
+    def test_chained_joins(self):
+        join = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y"
+        ).from_clause
+        assert isinstance(join.left, nodes.Join)
+
+    def test_subquery(self):
+        stmt = parse("SELECT * FROM (SELECT a FROM t) sub")
+        assert isinstance(stmt.from_clause, nodes.SubqueryRef)
+        assert stmt.from_clause.alias == "sub"
+
+    def test_table_function(self):
+        stmt = parse("SELECT * FROM parse_mnist_grid(MNIST_Grid)")
+        tvf = stmt.from_clause
+        assert isinstance(tvf, nodes.TableFunction)
+        assert tvf.name == "parse_mnist_grid"
+
+
+class TestPaperListings:
+    """Each SQL snippet from the paper must parse."""
+
+    def test_listing_2_aggregate(self):
+        parse("SELECT Digits, Sizes, COUNT(*) FROM numbers "
+              "GROUP BY Digits, Sizes")
+
+    def test_listing_6_mnistgrid(self):
+        parse("SELECT Digit, Size, COUNT(*) FROM parse_mnist_grid(MNIST_Grid) "
+              "GROUP BY Digit, Size")
+
+    def test_listing_8_ocr(self):
+        stmt = parse(
+            'SELECT AVG(SepalLength), AVG(PetalLength) '
+            'FROM (SELECT extract_table(images) FROM Document '
+            'WHERE timestamp = "2022:08:10")'
+        )
+        inner = stmt.from_clause.query
+        assert isinstance(inner.items[0].expr, nodes.FuncCall)
+
+    def test_listing_9_llp(self):
+        parse("SELECT Income, COUNT(*) FROM classify_incomes(Adult_Income_Bag) "
+              "GROUP BY Income")
+
+    def test_fig2_filter_query(self):
+        parse('SELECT COUNT(*) FROM Attachments '
+              'WHERE image_text_similarity("receipt", images) > 0.80')
+
+    def test_fig2_topk_query(self):
+        stmt = parse(
+            'SELECT images, image_text_similarity("KFC Receipt", images) '
+            'AS score FROM Attachments ORDER BY score DESC LIMIT 2'
+        )
+        assert stmt.limit == 2
+        assert stmt.order_by[0].ascending is False

@@ -1,0 +1,106 @@
+"""DataFrame, catalog, CSV/NPZ I/O."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CatalogError, TdpError
+from repro.storage.catalog import Catalog
+from repro.storage.frame import DataFrame
+from repro.storage.io import load_table, read_csv, save_table, write_csv
+from repro.storage.table import Table
+
+
+class TestDataFrame:
+    def test_basic_construction(self):
+        f = DataFrame({"a": [1, 2], "b": ["x", "y"]})
+        assert f.shape == (2, 2)
+        assert f.columns == ["a", "b"]
+        assert f["b"].dtype == object
+
+    def test_length_mismatch_rejected(self):
+        f = DataFrame({"a": [1, 2]})
+        with pytest.raises(TdpError):
+            f["b"] = [1]
+
+    def test_unknown_column_keyerror(self):
+        with pytest.raises(KeyError):
+            DataFrame({"a": [1]})["zz"]
+
+    def test_from_records(self):
+        f = DataFrame.from_records([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert f["a"].tolist() == [1, 2]
+
+    def test_row_and_itertuples(self):
+        f = DataFrame({"a": [1, 2], "b": [3, 4]})
+        assert f.row(1) == {"a": 2, "b": 4}
+        assert list(f.itertuples()) == [(1, 3), (2, 4)]
+
+    def test_head_select_rename(self):
+        f = DataFrame({"a": [1, 2, 3], "b": [4, 5, 6]})
+        assert len(f.head(2)) == 2
+        assert f.select(["b"]).columns == ["b"]
+        assert f.rename({"a": "z"}).columns == ["z", "b"]
+
+    def test_sort_values(self):
+        f = DataFrame({"a": [3, 1, 2]})
+        assert f.sort_values("a")["a"].tolist() == [1, 2, 3]
+        assert f.sort_values("a", ascending=False)["a"].tolist() == [3, 2, 1]
+
+    def test_equals_with_float_tolerance(self):
+        a = DataFrame({"x": [1.0, 2.0]})
+        b = DataFrame({"x": [1.0 + 1e-8, 2.0]})
+        assert a.equals(b)
+        assert not a.equals(DataFrame({"x": [1.0, 3.0]}))
+        assert not a.equals(DataFrame({"y": [1.0, 2.0]}))
+
+    def test_repr_does_not_crash_on_tensors(self):
+        f = DataFrame({"img": np.zeros((3, 2, 2))})
+        assert "tensor" in repr(f)
+
+
+class TestCatalog:
+    def test_register_get_drop(self):
+        cat = Catalog()
+        table = Table.from_dict("t", {"a": [1]})
+        cat.register("T1", table)
+        assert "t1" in cat
+        assert cat.get("t1") is table
+        cat.drop("T1")
+        assert "t1" not in cat
+
+    def test_replace_semantics(self):
+        cat = Catalog()
+        cat.register("t", Table.from_dict("t", {"a": [1]}))
+        cat.register("t", Table.from_dict("t", {"a": [2]}))     # replace ok
+        assert cat.get("t").column("a").decode().tolist() == [2]
+        with pytest.raises(CatalogError):
+            cat.register("t", Table.from_dict("t", {"a": [3]}), replace=False)
+
+    def test_unknown_table_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("missing")
+        with pytest.raises(CatalogError):
+            Catalog().drop("missing")
+
+
+class TestIO:
+    def test_csv_roundtrip(self, tmp_path):
+        f = DataFrame({"a": [1, 2], "b": [1.5, 2.5], "s": ["x", "y"]})
+        path = str(tmp_path / "data.csv")
+        write_csv(f, path)
+        back = read_csv(path)
+        assert back["a"].dtype == np.int64
+        assert back["b"].dtype == np.float32
+        assert back["s"].tolist() == ["x", "y"]
+
+    def test_csv_missing_file(self):
+        with pytest.raises(TdpError):
+            read_csv("/no/such/file.csv")
+
+    def test_table_npz_roundtrip(self, tmp_path):
+        table = Table.from_dict("t", {"a": [1, 2], "s": ["aa", "bb"]})
+        path = str(tmp_path / "table.npz")
+        save_table(table, path)
+        back = load_table(path)
+        assert back.column("a").decode().tolist() == [1, 2]
+        assert back.column("s").decode().tolist() == ["aa", "bb"]

@@ -1,0 +1,46 @@
+"""Numerical gradient checking against the autograd engine."""
+
+import numpy as np
+
+from repro.tcr.tensor import Tensor
+
+
+def numeric_grad(fn, inputs, index, eps=1e-3):
+    """Central-difference gradient of scalar fn(*inputs) w.r.t. inputs[index]."""
+    base = inputs[index]
+    grad = np.zeros_like(base.data, dtype=np.float64)
+    flat = base.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn(*inputs).item()
+        flat[i] = original - eps
+        minus = fn(*inputs).item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2 * eps)
+    return grad
+
+
+def assert_grad_matches(fn, shapes, rtol=1e-2, atol=1e-3, seed=0, positive=False):
+    """Build float64 leaf tensors, compare autograd vs numerical gradients.
+
+    ``fn`` must map the tensors to a scalar Tensor.
+    """
+    rng = np.random.default_rng(seed)
+    inputs = []
+    for shape in shapes:
+        data = rng.standard_normal(shape)
+        if positive:
+            data = np.abs(data) + 0.5
+        inputs.append(Tensor(data.astype(np.float64), requires_grad=True,
+                             dtype=np.float64))
+    out = fn(*inputs)
+    out.backward()
+    for i, tensor in enumerate(inputs):
+        expected = numeric_grad(fn, inputs, i)
+        assert tensor.grad is not None, f"input {i} has no gradient"
+        np.testing.assert_allclose(
+            tensor.grad, expected, rtol=rtol, atol=atol,
+            err_msg=f"gradient mismatch for input {i}",
+        )

@@ -1,0 +1,74 @@
+"""einops-style rearrange, including the paper's Listing 4 pattern."""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.errors import ShapeError
+from repro.tcr.einops import rearrange
+
+from tests.tcr.gradcheck import assert_grad_matches
+
+
+class TestRearrange:
+    def test_paper_grid_pattern(self):
+        grid = tcr.tensor(np.arange(84 * 84, dtype=np.float32).reshape(1, 84, 84))
+        tiles = rearrange(grid, "1 (h1 h2) (w1 w2) -> (h1 w1) 1 h2 w2",
+                          h1=3, w1=3)
+        assert tiles.shape == (9, 1, 28, 28)
+        # Tile 0 must be the top-left 28x28 block.
+        np.testing.assert_array_equal(tiles.data[0, 0],
+                                      grid.data[0, :28, :28])
+        # Tile 5 is row 1, column 2.
+        np.testing.assert_array_equal(tiles.data[5, 0],
+                                      grid.data[0, 28:56, 56:84])
+
+    def test_transpose_pattern(self):
+        t = tcr.tensor(np.arange(6, dtype=np.float32).reshape(2, 3))
+        got = rearrange(t, "a b -> b a")
+        np.testing.assert_array_equal(got.data, t.data.T)
+
+    def test_merge_pattern(self):
+        t = tcr.zeros(2, 3, 4)
+        assert rearrange(t, "a b c -> a (b c)").shape == (2, 12)
+        assert rearrange(t, "a b c -> (a b) c").shape == (6, 4)
+
+    def test_split_with_inference(self):
+        t = tcr.zeros(12)
+        assert rearrange(t, "(a b) -> a b", a=3).shape == (3, 4)
+
+    def test_new_singleton_axis(self):
+        t = tcr.zeros(3, 4)
+        assert rearrange(t, "a b -> a 1 b").shape == (3, 1, 4)
+
+    def test_drop_singleton_axis(self):
+        t = tcr.zeros(1, 5)
+        assert rearrange(t, "1 a -> a").shape == (5,)
+
+    def test_roundtrip_identity(self):
+        t = tcr.tensor(np.arange(24, dtype=np.float32).reshape(2, 3, 4))
+        there = rearrange(t, "a b c -> c (a b)")
+        back = rearrange(there, "c (a b) -> a b c", a=2)
+        np.testing.assert_array_equal(back.data, t.data)
+
+    def test_errors(self):
+        t = tcr.zeros(2, 3)
+        with pytest.raises(ShapeError):
+            rearrange(t, "a b")                  # no arrow
+        with pytest.raises(ShapeError):
+            rearrange(t, "a -> a")               # rank mismatch
+        with pytest.raises(ShapeError):
+            rearrange(t, "a b -> a")             # dropped non-singleton
+        with pytest.raises(ShapeError):
+            rearrange(t, "(a b) c -> a b c")     # two unknowns in one group
+
+    def test_indivisible_group_raises(self):
+        with pytest.raises(ShapeError):
+            rearrange(tcr.zeros(7), "(a b) -> a b", a=3)
+
+    def test_gradient_flows_through(self):
+        assert_grad_matches(
+            lambda g: (rearrange(g, "1 (h1 h2) (w1 w2) -> (h1 w1) h2 w2",
+                                 h1=2, w1=2) ** 2).sum(),
+            [(1, 4, 4)],
+        )

@@ -1,0 +1,100 @@
+"""Convolution and pooling: reference-checked forwards + gradcheck."""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.errors import ShapeError
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor
+
+from tests.tcr.gradcheck import assert_grad_matches
+
+
+def reference_conv2d(x, w, b, stride, padding):
+    """Naive loop conv for cross-checking the im2col implementation."""
+    n, c, h, width = x.shape
+    o, _, kh, kw = w.shape
+    x = np.pad(x, ((0, 0), (0, 0), (padding, padding), (padding, padding)))
+    ho = (x.shape[2] - kh) // stride + 1
+    wo = (x.shape[3] - kw) // stride + 1
+    out = np.zeros((n, o, ho, wo))
+    for ni in range(n):
+        for oi in range(o):
+            for i in range(ho):
+                for j in range(wo):
+                    patch = x[ni, :, i * stride:i * stride + kh,
+                              j * stride:j * stride + kw]
+                    out[ni, oi, i, j] = (patch * w[oi]).sum()
+            if b is not None:
+                out[ni, oi] += b[oi]
+    return out
+
+
+class TestConvForward:
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_matches_reference(self, stride, padding, rng):
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        b = rng.normal(size=4).astype(np.float32)
+        got = ops.conv2d(Tensor(x), Tensor(w), Tensor(b),
+                         stride=stride, padding=padding).data
+        want = reference_conv2d(x, w, b, stride, padding)
+        np.testing.assert_allclose(got, want, rtol=1e-4, atol=1e-4)
+
+    def test_channel_mismatch_raises(self):
+        with pytest.raises(ShapeError):
+            ops.conv2d(tcr.zeros(1, 2, 4, 4), tcr.zeros(1, 3, 3, 3))
+
+    def test_kernel_too_large_raises(self):
+        with pytest.raises(ShapeError):
+            ops.conv2d(tcr.zeros(1, 1, 2, 2), tcr.zeros(1, 1, 5, 5))
+
+
+class TestPoolForward:
+    def test_max_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        got = ops.max_pool2d(x, 2).data
+        assert got.reshape(-1).tolist() == [5, 7, 13, 15]
+
+    def test_max_pool_with_stride(self):
+        x = Tensor(np.arange(25, dtype=np.float32).reshape(1, 1, 5, 5))
+        got = ops.max_pool2d(x, 3, stride=2)
+        assert got.shape == (1, 1, 2, 2)
+
+    def test_avg_pool_values(self):
+        x = Tensor(np.arange(16, dtype=np.float32).reshape(1, 1, 4, 4))
+        got = ops.avg_pool2d(x, 2).data
+        assert got.reshape(-1).tolist() == [2.5, 4.5, 10.5, 12.5]
+
+    def test_adaptive_avg_pool_global(self):
+        x = Tensor(np.ones((2, 3, 5, 7), dtype=np.float32))
+        got = ops.adaptive_avg_pool2d(x, 1)
+        assert got.shape == (2, 3, 1, 1)
+        assert got.data.reshape(-1).tolist() == [1.0] * 6
+
+
+class TestGradients:
+    def test_conv_grads(self):
+        assert_grad_matches(
+            lambda x, w, b: ops.conv2d(x, w, b, stride=1, padding=1).sum(),
+            [(1, 2, 5, 5), (3, 2, 3, 3), (3,)],
+        )
+
+    def test_conv_strided_grads(self):
+        assert_grad_matches(
+            lambda x, w: ops.conv2d(x, w, stride=2).sum(),
+            [(1, 1, 6, 6), (2, 1, 3, 3)],
+        )
+
+    def test_max_pool_grad(self):
+        assert_grad_matches(lambda x: ops.max_pool2d(x, 2).sum(),
+                            [(1, 1, 4, 4)])
+
+    def test_avg_pool_grad(self):
+        assert_grad_matches(lambda x: ops.avg_pool2d(x, 2).sum() * 2.0,
+                            [(1, 2, 4, 4)])
+
+    def test_adaptive_pool_grad(self):
+        assert_grad_matches(lambda x: ops.adaptive_avg_pool2d(x, 1).sum(),
+                            [(2, 2, 4, 4)])

@@ -1,0 +1,97 @@
+"""Sorting / top-k / unique / search ops."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import tcr
+from repro.errors import ShapeError
+from repro.tcr import ops
+from repro.tcr.tensor import Tensor
+
+from tests.tcr.gradcheck import assert_grad_matches
+
+
+class TestSorting:
+    def test_argsort_ascending_descending(self):
+        t = tcr.tensor([3.0, 1.0, 2.0])
+        assert ops.argsort(t).data.tolist() == [1, 2, 0]
+        assert ops.argsort(t, descending=True).data.tolist() == [0, 2, 1]
+
+    def test_sort_returns_values_and_indices(self):
+        values, indices = ops.sort(tcr.tensor([3.0, 1.0, 2.0]))
+        assert values.data.tolist() == [1.0, 2.0, 3.0]
+        assert indices.data.tolist() == [1, 2, 0]
+
+    def test_topk(self):
+        values, indices = ops.topk(tcr.tensor([1.0, 9.0, 4.0, 7.0]), k=2)
+        assert values.data.tolist() == [9.0, 7.0]
+        assert indices.data.tolist() == [1, 3]
+
+    def test_topk_smallest(self):
+        values, _ = ops.topk(tcr.tensor([1.0, 9.0, 4.0]), k=2, largest=False)
+        assert values.data.tolist() == [1.0, 4.0]
+
+    def test_topk_bounds_check(self):
+        with pytest.raises(ShapeError):
+            ops.topk(tcr.tensor([1.0]), k=5)
+
+    def test_unique_with_counts(self):
+        values, counts = ops.unique(tcr.tensor([3, 1, 3, 1, 1]),
+                                    return_counts=True)
+        assert values.data.tolist() == [1, 3]
+        assert counts.data.tolist() == [3, 2]
+
+    def test_searchsorted(self):
+        seq = tcr.tensor([1.0, 3.0, 5.0])
+        got = ops.searchsorted(seq, tcr.tensor([0.0, 3.0, 6.0]))
+        assert got.data.tolist() == [0, 1, 3]
+
+    def test_bincount(self):
+        got = ops.bincount(tcr.tensor([0, 1, 1, 3]), minlength=5)
+        assert got.data.tolist() == [1, 2, 0, 1, 0]
+
+    def test_nonzero(self):
+        got = ops.nonzero(tcr.tensor([0.0, 1.0, 0.0, 2.0]))
+        assert got.data.reshape(-1).tolist() == [1, 3]
+
+    def test_lexsort_rows_most_significant_first(self):
+        a = tcr.tensor([1, 0, 1, 0])
+        b = tcr.tensor([9, 8, 1, 2])
+        order = ops.lexsort_rows([a, b]).data
+        # Sort by a first, then b.
+        assert a.data[order].tolist() == [0, 0, 1, 1]
+        assert b.data[order].tolist() == [2, 8, 1, 9]
+
+    @given(st.lists(st.integers(-50, 50), min_size=1, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_argsort_matches_numpy(self, values):
+        t = tcr.tensor(values)
+        got = t.data[ops.argsort(t).data]
+        np.testing.assert_array_equal(got, np.sort(values))
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=1,
+                    max_size=30),
+           st.integers(1, 30))
+    @settings(max_examples=40, deadline=None)
+    def test_topk_matches_full_sort(self, values, k):
+        k = min(k, len(values))
+        t = tcr.tensor(np.asarray(values, dtype=np.float32))
+        top_values, _ = ops.topk(t, k)
+        want = np.sort(np.asarray(values, dtype=np.float32))[::-1][:k]
+        np.testing.assert_allclose(top_values.data, want, rtol=1e-6)
+
+
+class TestGradients:
+    def test_sort_grad_routes_through_permutation(self):
+        weights = Tensor(np.array([1.0, 10.0, 100.0]))
+        assert_grad_matches(
+            lambda a: (ops.sort(a)[0] * weights).sum(), [(3,)]
+        )
+
+    def test_topk_grad_hits_selected_entries_only(self):
+        t = tcr.tensor([1.0, 5.0, 3.0, 4.0], requires_grad=True)
+        values, _ = ops.topk(t, 2)
+        values.sum().backward()
+        assert t.grad.tolist() == [0.0, 1.0, 0.0, 1.0]

@@ -1,0 +1,152 @@
+"""Tensor construction, dtype policy, conversion and device placement."""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.errors import AutogradError, DeviceError, ShapeError
+from repro.tcr.tensor import Tensor
+
+
+class TestConstruction:
+    def test_float_lists_become_float32(self):
+        t = tcr.tensor([1.0, 2.0])
+        assert t.dtype == np.float32
+
+    def test_int_lists_become_int64(self):
+        t = tcr.tensor([1, 2, 3])
+        assert t.dtype == np.int64
+
+    def test_bool_lists_stay_bool(self):
+        t = tcr.tensor([True, False])
+        assert t.dtype == np.bool_
+
+    def test_float64_downcast_to_float32(self):
+        t = tcr.tensor(np.zeros(3, dtype=np.float64))
+        assert t.dtype == np.float32
+
+    def test_explicit_dtype_respected(self):
+        t = tcr.tensor([1, 2], dtype=np.float64)
+        assert t.dtype == np.float64
+
+    def test_requires_grad_on_int_rejected(self):
+        with pytest.raises(AutogradError):
+            tcr.tensor([1, 2], requires_grad=True)
+
+    def test_zeros_ones_full(self):
+        assert tcr.zeros(2, 3).shape == (2, 3)
+        assert tcr.ones((4,)).data.sum() == 4
+        assert tcr.full((2,), 7).data.tolist() == [7, 7]
+
+    def test_arange_linspace_eye(self):
+        assert tcr.arange(5).data.tolist() == [0, 1, 2, 3, 4]
+        assert tcr.linspace(0, 1, 5).shape == (5,)
+        assert tcr.eye(3).data.trace() == 3.0
+
+    def test_zeros_like_preserves_device(self):
+        t = tcr.tensor([1.0], device="cuda")
+        assert tcr.zeros_like(t).device == tcr.CUDA
+
+
+class TestIntrospection:
+    def test_shape_ndim_numel(self):
+        t = tcr.zeros(2, 3, 4)
+        assert t.shape == (2, 3, 4)
+        assert t.ndim == 3
+        assert t.numel() == 24
+        assert t.size(1) == 3
+        assert len(t) == 2
+
+    def test_len_of_scalar_raises(self):
+        with pytest.raises(ShapeError):
+            len(tcr.tensor(1.0))
+
+    def test_item_requires_single_element(self):
+        assert tcr.tensor([3.5]).item() == pytest.approx(3.5)
+        with pytest.raises(ShapeError):
+            tcr.tensor([1.0, 2.0]).item()
+
+    def test_bool_of_multielement_raises(self):
+        with pytest.raises(ShapeError):
+            bool(tcr.tensor([1.0, 2.0]))
+
+    def test_repr_mentions_grad_and_device(self):
+        t = tcr.tensor([1.0], requires_grad=True, device="cuda")
+        text = repr(t)
+        assert "requires_grad=True" in text
+        assert "cuda" in text
+
+
+class TestConversion:
+    def test_numpy_rejects_grad_tensors(self):
+        t = tcr.tensor([1.0], requires_grad=True)
+        with pytest.raises(AutogradError):
+            t.numpy()
+        assert t.detach().numpy().tolist() == [1.0]
+
+    def test_detach_shares_buffer(self):
+        t = tcr.tensor([1.0, 2.0])
+        assert t.detach().data is t.data
+
+    def test_clone_copies_buffer(self):
+        t = tcr.tensor([1.0, 2.0])
+        c = t.clone()
+        assert c.data is not t.data
+        np.testing.assert_array_equal(c.data, t.data)
+
+    def test_dtype_casts(self):
+        t = tcr.tensor([1.7, 2.2])
+        assert t.long().dtype == np.int64
+        assert t.long().data.tolist() == [1, 2]
+        assert t.bool().dtype == np.bool_
+        assert t.double().dtype == np.float64
+
+    def test_tolist(self):
+        assert tcr.tensor([[1, 2]]).tolist() == [[1, 2]]
+
+
+class TestDevice:
+    def test_default_cpu(self):
+        assert tcr.tensor([1.0]).device == tcr.CPU
+
+    def test_to_cuda_and_back(self):
+        t = tcr.tensor([1.0, 2.0])
+        gpu = t.cuda()
+        assert gpu.device == tcr.CUDA
+        assert gpu is not t               # distinct tensor, retagged buffer
+        assert gpu.cpu().device == tcr.CPU
+
+    def test_cross_device_op_rejected(self):
+        a = tcr.tensor([1.0])
+        b = tcr.tensor([1.0], device="cuda")
+        with pytest.raises(DeviceError):
+            a + b
+
+    def test_device_transfer_is_differentiable(self):
+        t = tcr.tensor([1.0, 2.0], requires_grad=True)
+        (t.cuda() * 3.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [3.0, 3.0])
+
+    def test_unknown_device_rejected(self):
+        with pytest.raises(DeviceError):
+            tcr.as_device("tpu")
+
+    def test_device_profiles(self):
+        assert tcr.CUDA.profile.exec_batch_rows > tcr.CPU.profile.exec_batch_rows
+
+
+class TestInplaceAssignment:
+    def test_setitem_on_plain_tensor(self):
+        t = tcr.zeros(4)
+        t[1] = 5.0
+        assert t.data.tolist() == [0.0, 5.0, 0.0, 0.0]
+
+    def test_setitem_with_tensor_index(self):
+        t = tcr.zeros(4)
+        t[tcr.tensor([0, 2])] = 1.0
+        assert t.data.tolist() == [1.0, 0.0, 1.0, 0.0]
+
+    def test_setitem_on_graph_tensor_rejected(self):
+        t = tcr.tensor([1.0], requires_grad=True)
+        with pytest.raises(AutogradError):
+            t[0] = 2.0
