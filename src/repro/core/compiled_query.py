@@ -119,6 +119,18 @@ class CompiledQuery(Module):
             return self._trainable_output(relation)
         return QueryResult(relation.table)
 
+    def run_many(self, others=(), toPandas: bool = False) -> list:
+        """Run this query plus ``others`` against shared scans.
+
+        All scans of the same table/device within the batch resolve once
+        (select + device transfer are paid once, not per statement). Returns
+        the per-query results in order, this query's first.
+        """
+        from repro.core.operators.scan import shared_scans
+        queries = [self, *others]
+        with shared_scans():
+            return [query.run(toPandas=toPandas) for query in queries]
+
     def _trainable_output(self, relation: Relation) -> Tensor:
         columns = relation.table.columns
         if self.aggregate_outputs:

@@ -17,6 +17,8 @@ from repro.core.config import QueryConfig
 from repro.core.operators import (
     DistinctExec,
     FilterExec,
+    FusedFilterExec,
+    FusedFilterProjectExec,
     HashAggregateExec,
     JoinExec,
     LimitExec,
@@ -29,6 +31,7 @@ from repro.core.operators import (
     TVFExec,
     TopKExec,
 )
+from repro.core.operators.fused import can_substitute, substitute_columns
 from repro.sql import logical
 from repro.storage import types as dt
 from repro.tcr.device import Device, as_device
@@ -68,23 +71,15 @@ class Compiler:
             return ExecNode(op, [child])
 
         if isinstance(plan, logical.Filter):
-            child = self._lower(plan.input)
             if self.config.trainable and self.config.soft_filter:
+                child = self._lower(plan.input)
                 op = SoftFilterExec(plan.predicate, self.config.soft_temperature)
                 return ExecNode(op, [child])
-            # Split AND-conjuncts into a cascade so cheap predicates (already
-            # cost-ordered by the optimizer) prune rows before UDF-bearing
-            # ones run — the point of predicate reordering.
-            from repro.sql.optimizer.pushdown import split_conjuncts
-            node = child
-            for conjunct in split_conjuncts(plan.predicate):
-                node = ExecNode(FilterExec(conjunct), [node])
-            return node
+            predicates, bottom = self._collect_filters(plan)
+            return self._lower_filter_pipeline(predicates, bottom)
 
         if isinstance(plan, logical.Project):
-            child = self._lower(plan.input)
-            op = ProjectExec(plan.exprs, [name for name, _ in plan.schema])
-            return ExecNode(op, [child])
+            return self._lower_project(plan)
 
         if isinstance(plan, logical.Aggregate):
             child = self._lower(plan.input)
@@ -116,6 +111,75 @@ class Compiler:
             return ExecNode(DistinctExec(), [child])
 
         raise PlanError(f"cannot lower {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # Filter/Project fusion
+    # ------------------------------------------------------------------
+    @property
+    def _fusing(self) -> bool:
+        # Trainable compilations keep the one-module-per-operator shape the
+        # soft/differentiable machinery assumes; everything else fuses by default.
+        return self.config.fuse_operators and not self.config.trainable
+
+    def _collect_filters(self, plan: logical.Filter):
+        """Flatten a chain of Filter nodes into its conjunct list + input.
+
+        Conjuncts are returned in *execution* order (innermost node first):
+        an inner filter guards the predicates stacked above it.
+        """
+        from repro.sql.optimizer.pushdown import split_conjuncts
+        groups: List[List] = []
+        node: logical.LogicalPlan = plan
+        while isinstance(node, logical.Filter):
+            groups.append(split_conjuncts(node.predicate))
+            node = node.input
+        predicates = [p for group in reversed(groups) for p in group]
+        return predicates, node
+
+    def _lower_filter_pipeline(self, predicates, bottom: logical.LogicalPlan) -> ExecNode:
+        """Lower a conjunct list: fuse the UDF-free prefix into one pass.
+
+        Cost ordering is the optimizer's job, so the conjunct order is kept
+        as given: the leading UDF-free conjuncts evaluate as a single mask +
+        gather, and everything from the first UDF-bearing conjunct on stays a
+        cascade so user code still only sees pre-filtered rows.
+        """
+        node = self._lower(bottom)
+        if not self._fusing:
+            for conjunct in predicates:
+                node = ExecNode(FilterExec(conjunct), [node])
+            return node
+        prefix_len = 0
+        while prefix_len < len(predicates) and not predicates[prefix_len].contains_udf():
+            prefix_len += 1
+        prefix, rest = predicates[:prefix_len], predicates[prefix_len:]
+        if len(prefix) == 1:
+            node = ExecNode(FilterExec(prefix[0]), [node])
+        elif prefix:
+            node = ExecNode(FusedFilterExec(prefix), [node])
+        for conjunct in rest:
+            node = ExecNode(FilterExec(conjunct), [node])
+        return node
+
+    def _lower_project(self, plan: logical.Project) -> ExecNode:
+        exprs = list(plan.exprs)
+        names = [name for name, _ in plan.schema]
+        node: logical.LogicalPlan = plan.input
+        if self._fusing:
+            # Project→Project: merge by inlining the inner projection.
+            while isinstance(node, logical.Project) and can_substitute(exprs, node.exprs):
+                exprs = [substitute_columns(e, node.exprs) for e in exprs]
+                node = node.input
+            # Filter→Project: one mask pass + lazy per-column gather, when no
+            # conjunct carries a UDF (UDF conjuncts must see filtered rows).
+            if isinstance(node, logical.Filter):
+                predicates, bottom = self._collect_filters(node)
+                if not any(p.contains_udf() for p in predicates):
+                    child = self._lower(bottom)
+                    op = FusedFilterProjectExec(predicates, exprs, names)
+                    return ExecNode(op, [child])
+        child = self._lower(node)
+        return ExecNode(ProjectExec(exprs, names), [child])
 
     # ------------------------------------------------------------------
     # Implementation choices (flags + heuristics)

@@ -18,6 +18,9 @@ class constants:
     # Soft-operator hyperparameters.
     SOFT_FILTER = "soft_filter"            # relax WHERE into row weights
     SOFT_TEMPERATURE = "soft_temperature"  # sigmoid sharpness for soft filters
+    # Execution-speed subsystem.
+    PLAN_CACHE = "plan_cache"              # reuse compiled plans across calls
+    FUSE_OPERATORS = "fuse_operators"      # collapse Filter/Project pipelines
 
 
 _DEFAULTS = {
@@ -28,6 +31,8 @@ _DEFAULTS = {
     constants.DISABLE_RULES: (),
     constants.SOFT_FILTER: False,
     constants.SOFT_TEMPERATURE: 25.0,
+    constants.PLAN_CACHE: True,
+    constants.FUSE_OPERATORS: True,
 }
 
 
@@ -75,6 +80,18 @@ class QueryConfig:
     @property
     def soft_temperature(self) -> float:
         return float(self._values[constants.SOFT_TEMPERATURE])
+
+    @property
+    def plan_cache(self) -> bool:
+        return bool(self._values[constants.PLAN_CACHE])
+
+    @property
+    def fuse_operators(self) -> bool:
+        return bool(self._values[constants.FUSE_OPERATORS])
+
+    def fingerprint(self) -> tuple:
+        """Hashable digest of every flag, for plan-cache keys."""
+        return tuple(sorted((k, repr(v)) for k, v in self._values.items()))
 
     def as_optimizer_config(self) -> dict:
         return {"disable_rules": self.disable_rules}

@@ -3,15 +3,17 @@
 from repro.core.operators.aggregate import HashAggregateExec, SortAggregateExec
 from repro.core.operators.base import Operator, Relation
 from repro.core.operators.filter import FilterExec, SoftFilterExec
+from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec
 from repro.core.operators.join import JoinExec, equi_join_indices
 from repro.core.operators.project import ProjectExec, TVFExec
-from repro.core.operators.scan import ScanExec
+from repro.core.operators.scan import ScanExec, shared_scans
 from repro.core.operators.soft_aggregate import SoftAggregateExec
 from repro.core.operators.sort import DistinctExec, LimitExec, SortExec, TopKExec
 
 __all__ = [
-    "DistinctExec", "FilterExec", "HashAggregateExec", "JoinExec", "LimitExec",
+    "DistinctExec", "FilterExec", "FusedFilterExec", "FusedFilterProjectExec",
+    "HashAggregateExec", "JoinExec", "LimitExec",
     "Operator", "ProjectExec", "Relation", "ScanExec", "SoftAggregateExec",
     "SoftFilterExec", "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
-    "equi_join_indices",
+    "equi_join_indices", "shared_scans",
 ]

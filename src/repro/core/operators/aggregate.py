@@ -76,6 +76,29 @@ class _AggregateBase(Operator):
             columns.append(_global_agg_column(spec, arg, n, relation.device))
         return Relation(Table(relation.table.name, columns))
 
+    def _empty_group_result(self, keys: List[Column],
+                            agg_inputs: List[Optional[Column]],
+                            relation: Relation) -> Relation:
+        """Zero groups for zero input rows, with dtype-correct agg columns
+        (shared by the sort and hash implementations)."""
+        columns = [k.take(np.zeros(0, dtype=np.int64)) for k in keys]
+        for spec, arg in zip(self.aggregates, agg_inputs):
+            columns.append(Column.from_values(
+                spec.name, np.zeros(0, dtype=_agg_output_dtype(spec, arg)),
+                device=relation.device))
+        return Relation(Table(relation.table.name, columns))
+
+
+def _agg_output_dtype(spec: AggSpec, arg: Optional[Column]) -> np.dtype:
+    """The dtype the non-empty aggregation paths would produce."""
+    if spec.func == "COUNT":
+        return np.dtype(np.int64)
+    if spec.func == "AVG":
+        return np.dtype(np.float32)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    return arg.tensor.detach().data.dtype
+
 
 def _global_agg_column(spec: AggSpec, arg: Optional[Column], n: int, device) -> Column:
     if spec.func == "COUNT":
@@ -125,10 +148,7 @@ class SortAggregateExec(_AggregateBase):
             return self._global_aggregate(relation, agg_inputs)
         n = relation.num_rows
         if n == 0:
-            columns = [k.take(np.zeros(0, dtype=np.int64)) for k in keys]
-            for spec in self.aggregates:
-                columns.append(Column.from_values(spec.name, np.zeros(0, dtype=np.int64)))
-            return Relation(Table(relation.table.name, columns))
+            return self._empty_group_result(keys, agg_inputs, relation)
 
         key_arrays = [_key_array(k) for k in keys]
         order = np.lexsort(tuple(reversed(key_arrays)))
@@ -204,13 +224,22 @@ class HashAggregateExec(_AggregateBase):
             return self._global_aggregate(relation, agg_inputs)
         n = relation.num_rows
         if n == 0:
-            return SortAggregateExec(self.group_exprs, self.group_names,
-                                     self.aggregates)(relation)
+            return self._empty_group_result(keys, agg_inputs, relation)
 
+        # Factorise each key column on its own dtype, then combine the int64
+        # codes: stacking mixed int/float keys directly would promote int64
+        # to float64 and collapse distinct keys above 2^53.
         key_arrays = [_key_array(k) for k in keys]
-        stacked = np.stack([a.astype(np.float64) if a.dtype.kind == "f" else a.astype(np.int64)
-                            for a in key_arrays], axis=1)
-        uniques, inverse, first_pos = _factorize_rows(stacked)
+        if len(key_arrays) == 1:
+            uniques, first_pos, inverse = np.unique(
+                key_arrays[0], return_index=True, return_inverse=True)
+            inverse = inverse.reshape(-1)
+        else:
+            code_cols = []
+            for arr in key_arrays:
+                _, codes = np.unique(arr, return_inverse=True)
+                code_cols.append(codes.reshape(-1).astype(np.int64))
+            uniques, inverse, first_pos = _factorize_rows(np.stack(code_cols, axis=1))
         num_groups = uniques.shape[0]
 
         columns = [

@@ -1,0 +1,163 @@
+"""Fused Filter/Project executors (single-pass pipeline fragments).
+
+The seed executed every operator as a separate materialising pass: each
+Filter conjunct gathered *all* columns through ``Table.take`` before the
+next operator ran. Following TQP's compile-into-one-tensor-program design,
+the compiler now collapses adjacent Filter→Filter, Filter→Project and
+Project→Project pairs into the executors here, which evaluate every
+expression against one shared :class:`ExpressionEvaluator` and gather each
+referenced column at most once.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.operators.base import Operator, Relation
+from repro.errors import ExecutionError
+from repro.sql import bound as b
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+def substitute_columns(expr: b.BoundExpr, inner_exprs: List[b.BoundExpr]) -> b.BoundExpr:
+    """Inline an inner projection: replace ``BColumn(i)`` with ``inner_exprs[i]``.
+
+    This is classic projection merging — the substituted expression evaluates
+    directly against the inner projection's *input*, removing one
+    materialisation.
+    """
+    if isinstance(expr, b.BColumn):
+        return inner_exprs[expr.index]
+    if isinstance(expr, b.BLiteral):
+        return expr
+    if isinstance(expr, b.BBinary):
+        return b.BBinary(expr.op, substitute_columns(expr.left, inner_exprs),
+                         substitute_columns(expr.right, inner_exprs), expr.data_type)
+    if isinstance(expr, b.BUnary):
+        return b.BUnary(expr.op, substitute_columns(expr.operand, inner_exprs),
+                        expr.data_type)
+    if isinstance(expr, b.BCall):
+        return b.BCall(expr.udf, [substitute_columns(a, inner_exprs) for a in expr.args],
+                       expr.data_type)
+    if isinstance(expr, b.BBuiltin):
+        return b.BBuiltin(expr.name,
+                          [substitute_columns(a, inner_exprs) for a in expr.args],
+                          expr.data_type)
+    if isinstance(expr, b.BBetween):
+        return b.BBetween(substitute_columns(expr.operand, inner_exprs),
+                          substitute_columns(expr.low, inner_exprs),
+                          substitute_columns(expr.high, inner_exprs), expr.negated)
+    if isinstance(expr, b.BIn):
+        return b.BIn(substitute_columns(expr.operand, inner_exprs), expr.values,
+                     expr.negated)
+    if isinstance(expr, b.BLike):
+        return b.BLike(substitute_columns(expr.operand, inner_exprs), expr.pattern,
+                       expr.negated)
+    if isinstance(expr, b.BIsNull):
+        return b.BIsNull(substitute_columns(expr.operand, inner_exprs), expr.negated)
+    if isinstance(expr, b.BCase):
+        whens = [(substitute_columns(c, inner_exprs), substitute_columns(v, inner_exprs))
+                 for c, v in expr.whens]
+        else_ = substitute_columns(expr.else_, inner_exprs) if expr.else_ is not None \
+            else None
+        return b.BCase(whens, else_, expr.data_type)
+    if isinstance(expr, b.BCast):
+        return b.BCast(substitute_columns(expr.operand, inner_exprs), expr.data_type)
+    raise ExecutionError(f"cannot substitute into {type(expr).__name__}")
+
+
+def can_substitute(outer_exprs: List[b.BoundExpr],
+                   inner_exprs: List[b.BoundExpr]) -> bool:
+    """Projection merging is safe unless it would duplicate a UDF call
+    (UDFs are the one expensive, possibly-stateful node kind)."""
+    return not any(e.contains_udf() for e in inner_exprs)
+
+
+class _GatherEvaluator(ExpressionEvaluator):
+    """Evaluator over a *row-filtered view* of a table.
+
+    Columns are gathered through the selection indices lazily, each at most
+    once — the fused Filter→Project pass never materialises columns the
+    projection does not read.
+    """
+
+    def __init__(self, table: Table, indices: np.ndarray):
+        self.table = table
+        self.indices = indices
+        self.num_rows = len(indices)
+        self.device = table.device
+        self._gathered = {}
+
+    def _eval_BColumn(self, expr: b.BColumn):
+        column = self._gathered.get(expr.index)
+        if column is None:
+            columns = self.table.columns
+            if expr.index >= len(columns):
+                raise ExecutionError(
+                    f"column index {expr.index} out of range for table with "
+                    f"{len(columns)} columns"
+                )
+            column = columns[expr.index].take(self.indices)
+            self._gathered[expr.index] = column
+        return column
+
+
+def _combined_mask(evaluator: ExpressionEvaluator,
+                   predicates: List[b.BoundExpr]) -> np.ndarray:
+    mask = evaluator.evaluate_mask(predicates[0])
+    for predicate in predicates[1:]:
+        mask = mask & evaluator.evaluate_mask(predicate)
+    return mask
+
+
+class FusedFilterExec(Operator):
+    """N conjuncts, one evaluator, one row gather (vs. one ``Table.take``
+    per conjunct in the unfused cascade)."""
+
+    def __init__(self, predicates: List[b.BoundExpr]):
+        super().__init__()
+        self.predicates = predicates
+        self._register_expr_udfs(predicates)
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        indices = np.flatnonzero(_combined_mask(evaluator, self.predicates))
+        table = relation.table.take(indices)
+        weights = relation.weights[indices] if relation.weights is not None else None
+        return Relation(table, weights)
+
+    def describe(self) -> str:
+        return f"FusedFilter({' AND '.join(str(p) for p in self.predicates)})"
+
+
+class FusedFilterProjectExec(Operator):
+    """Filter→Project in one pass: evaluate the predicate masks on the input,
+    then evaluate the projection over the selected rows, gathering only the
+    columns the projection references (no intermediate full-width table)."""
+
+    def __init__(self, predicates: List[b.BoundExpr], exprs: List[b.BoundExpr],
+                 names: List[str]):
+        super().__init__()
+        self.predicates = predicates
+        self.exprs = exprs
+        self.names = names
+        self._register_expr_udfs(list(predicates) + list(exprs))
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        indices = np.flatnonzero(_combined_mask(evaluator, self.predicates))
+        projected = _GatherEvaluator(relation.table, indices)
+        columns = [
+            projected.evaluate_column(expr, name)
+            for expr, name in zip(self.exprs, self.names)
+        ]
+        weights = relation.weights[indices] if relation.weights is not None else None
+        return Relation(Table(relation.table.name, columns), weights)
+
+    def describe(self) -> str:
+        preds = " AND ".join(str(p) for p in self.predicates)
+        return f"FusedFilterProject([{preds}] -> {', '.join(self.names)})"

@@ -65,6 +65,25 @@ def equi_join_indices(left_codes: np.ndarray, right_codes: np.ndarray,
     return left_idx, right_idx
 
 
+def _combine_key_codes(left_codes: List[np.ndarray], right_codes: List[np.ndarray]
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+    """Collapse per-key code columns into one comparable code per row.
+
+    Radix arithmetic (``combined * radix + codes``) silently wraps int64 for
+    high-cardinality composite keys, so stack the code columns and
+    re-factorise the rows with ``np.unique(axis=0)`` — lossless at any
+    cardinality.
+    """
+    if len(left_codes) == 1:
+        return left_codes[0], right_codes[0]
+    n_left = len(left_codes[0])
+    stacked = np.concatenate([np.stack(left_codes, axis=1),
+                              np.stack(right_codes, axis=1)], axis=0)
+    _, inverse = np.unique(stacked, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    return inverse[:n_left], inverse[n_left:]
+
+
 def _null_fill_column(column: Column, indices: np.ndarray, name: str) -> Column:
     """Gather with -1 → NULL-ish fill (NaN/0/"") for LEFT JOIN unmatched rows."""
     valid = indices >= 0
@@ -109,15 +128,15 @@ class JoinExec(Operator):
         else:
             left_eval = ExpressionEvaluator(left)
             right_eval = ExpressionEvaluator(right)
-            combined_left = np.zeros(left.num_rows, dtype=np.int64)
-            combined_right = np.zeros(right.num_rows, dtype=np.int64)
+            left_code_cols, right_code_cols = [], []
             for lk, rk in zip(self.left_keys, self.right_keys):
                 lcol = left_eval.evaluate_column(lk)
                 rcol = right_eval.evaluate_column(rk)
                 lcodes, rcodes = _join_codes(lcol, rcol)
-                radix = max(int(lcodes.max(initial=0)), int(rcodes.max(initial=0))) + 2
-                combined_left = combined_left * radix + lcodes
-                combined_right = combined_right * radix + rcodes
+                left_code_cols.append(lcodes)
+                right_code_cols.append(rcodes)
+            combined_left, combined_right = _combine_key_codes(left_code_cols,
+                                                               right_code_cols)
             if self.kind == "RIGHT":
                 ri, li = equi_join_indices(combined_right, combined_left,
                                            keep_unmatched_left=True)
@@ -125,18 +144,47 @@ class JoinExec(Operator):
                 li, ri = equi_join_indices(combined_left, combined_right,
                                            keep_unmatched_left=(self.kind == "LEFT"))
 
+        if self.residual is not None:
+            li, ri = self._apply_residual(left, right, li, ri)
+        return Relation(self._gather(left, right, li, ri))
+
+    def _gather(self, left: Table, right: Table, li: np.ndarray,
+                ri: np.ndarray) -> Table:
         columns = []
         for col, name in zip(left.columns, self.left_names):
             columns.append(_null_fill_column(col, li, name))
         for col, name in zip(right.columns, self.right_names):
             columns.append(_null_fill_column(col, ri, name))
-        joined = Relation(Table(left.name, columns))
+        return Table(left.name, columns)
 
-        if self.residual is not None:
-            evaluator = ExpressionEvaluator(joined.table)
-            mask = evaluator.evaluate_mask(self.residual)
-            joined = Relation(joined.table.take(np.flatnonzero(mask)))
-        return joined
+    def _apply_residual(self, left: Table, right: Table, li: np.ndarray,
+                        ri: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Filter matched rows by the residual ON predicate.
+
+        The residual is part of the join condition, not a WHERE clause: for
+        LEFT/RIGHT joins the preserved side keeps its rows. Unmatched rows
+        pass through untouched, and preserved-side rows whose every match
+        fails the residual reappear as null-filled unmatched rows.
+        """
+        mask = ExpressionEvaluator(self._gather(left, right, li, ri)) \
+            .evaluate_mask(self.residual)
+        if self.kind == "LEFT":
+            preserved, other = li, ri
+        elif self.kind == "RIGHT":
+            preserved, other = ri, li
+        else:
+            sel = np.flatnonzero(mask)
+            return li[sel], ri[sel]
+        keep = mask | (other < 0)
+        lost = np.setdiff1d(preserved, preserved[keep])
+        new_preserved = np.concatenate([preserved[keep], lost])
+        new_other = np.concatenate([other[keep],
+                                    np.full(len(lost), -1, dtype=np.int64)])
+        order = np.argsort(new_preserved, kind="stable")
+        new_preserved, new_other = new_preserved[order], new_other[order]
+        if self.kind == "LEFT":
+            return new_preserved, new_other
+        return new_other, new_preserved
 
     def describe(self) -> str:
         return f"Join({self.kind})"

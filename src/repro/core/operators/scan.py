@@ -7,12 +7,37 @@ a name rather than a table snapshot is what makes that work.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import contextlib
+from typing import List, Optional, Tuple
 
 from repro.errors import ExecutionError
 from repro.core.operators.base import Operator, Relation
 from repro.storage.table import Table
 from repro.tcr.device import Device
+
+# Active shared-scan memo (None outside a ``shared_scans`` block). Batch
+# execution opens one so that N statements over the same table pay the
+# select + device-transfer cost once.
+_SCAN_MEMO: Optional[dict] = None
+
+
+@contextlib.contextmanager
+def shared_scans():
+    """Context manager: scans of the same table/device are resolved once.
+
+    Used by ``Session.execute_many`` / ``CompiledQuery.run_many``. Scan
+    results are immutable (operators gather into fresh tables), so sharing
+    the Relation across queries is safe. Nested blocks share the outermost
+    memo.
+    """
+    global _SCAN_MEMO
+    previous = _SCAN_MEMO
+    if _SCAN_MEMO is None:
+        _SCAN_MEMO = {}
+    try:
+        yield
+    finally:
+        _SCAN_MEMO = previous
 
 
 class ScanExec(Operator):
@@ -31,10 +56,28 @@ class ScanExec(Operator):
                 f"table {self.table_name!r} no longer has columns {missing} "
                 f"(re-registered with a different schema?)"
             )
-        ordered = table.select(self.column_names)
-        if ordered.device != self.device:
-            ordered = ordered.to(self.device)
-        return Relation(ordered)
+        if _SCAN_MEMO is None:
+            ordered = table.select(self.column_names)
+            if ordered.device != self.device:
+                ordered = ordered.to(self.device)
+            return Relation(ordered)
+        # Shared-scan path: each column of the table is selected and moved to
+        # the target device at most once per batch, however many statements
+        # (with however many different pruned column subsets) reference it.
+        # Keyed on the Table object itself (identity hash + strong reference):
+        # an id()-based key could alias a recycled address if a table were
+        # dropped and replaced mid-batch.
+        memo = _SCAN_MEMO.setdefault((table, str(self.device)), {})
+        columns = []
+        for name in self.column_names:
+            column = memo.get(name)
+            if column is None:
+                column = table.column(name)
+                if column.device != self.device:
+                    column = column.to(self.device)
+                memo[name] = column
+            columns.append(column)
+        return Relation(Table(table.name, columns))
 
     def describe(self) -> str:
         return f"Scan({self.table_name})"

@@ -8,7 +8,8 @@
 
 from __future__ import annotations
 
-from typing import Mapping, Optional
+from collections import OrderedDict
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -16,6 +17,7 @@ from repro.errors import CatalogError
 from repro.core.compiled_query import CompiledQuery
 from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig, constants
+from repro.core.operators.scan import shared_scans
 from repro.core.udf import FunctionRegistry, make_udf_decorator
 from repro.sql.binder import Binder
 from repro.sql.optimizer import optimize
@@ -23,7 +25,51 @@ from repro.sql.parser import parse
 from repro.storage.catalog import Catalog
 from repro.storage.frame import DataFrame
 from repro.storage.table import Table
+from repro.tcr.device import as_device
 from repro.tcr.tensor import Tensor, ensure_tensor
+
+
+class PlanCache:
+    """LRU cache of compiled queries.
+
+    Keys include the statement text, target device, the full config
+    fingerprint, and the catalog/UDF-registry versions — so any
+    ``register_*``, ``drop`` or UDF (re)registration naturally invalidates
+    every plan compiled before it (TQP caches lowered PyTorch programs the
+    same way; repeated statements skip parse→bind→optimize→lower entirely).
+    """
+
+    def __init__(self, maxsize: int = 128):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, CompiledQuery]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: tuple) -> Optional[CompiledQuery]:
+        query = self._entries.get(key)
+        if query is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return query
+
+    def put(self, key: tuple, query: CompiledQuery) -> None:
+        self._entries[key] = query
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.maxsize:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def stats(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries),
+                "maxsize": self.maxsize}
 
 
 class SparkNamespace:
@@ -97,25 +143,62 @@ class SqlNamespace:
 class Session:
     """One TDP instance: a catalog, a UDF registry, and query compilation."""
 
-    def __init__(self):
+    def __init__(self, plan_cache_size: int = 128):
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
         self.sql = SqlNamespace(self)
         self.spark = self.sql.spark
         self.constants = constants
         self.udf = make_udf_decorator(self.functions)
+        self.plan_cache = PlanCache(plan_cache_size)
 
     def compile_query(self, statement: str, device: str = "cpu",
                       extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
-        """Parse → bind → optimize → lower (paper Example 2.2)."""
+        """Parse → bind → optimize → lower (paper Example 2.2), memoised.
+
+        Repeated compilations of the same statement against an unchanged
+        catalog/UDF registry return the cached plan. Trainable queries are
+        never cached: they own parameters and train/eval state that must be
+        private to each compilation.
+        """
         config = QueryConfig(extra_config)
+        cacheable = config.plan_cache and not config.trainable
+        key = None
+        if cacheable:
+            key = (statement, str(as_device(device)), config.fingerprint(),
+                   self.catalog.version, self.functions.version)
+            cached = self.plan_cache.get(key)
+            if cached is not None:
+                return cached
+        query = self._compile_uncached(statement, config, device)
+        if cacheable:
+            self.plan_cache.put(key, query)
+        return query
+
+    def _compile_uncached(self, statement: str, config: QueryConfig,
+                          device: str) -> CompiledQuery:
         ast = parse(statement)
         plan = Binder(self.catalog, self.functions).bind(ast)
         plan = optimize(plan, config.as_optimizer_config())
         compiler = Compiler(self.catalog, config, device)
         return compiler.compile(plan, statement)
 
+    def execute_many(self, statements: Sequence[str], device: str = "cpu",
+                     extra_config: Optional[Mapping[str, object]] = None,
+                     toPandas: bool = False) -> List[object]:
+        """Compile (through the plan cache) and run a batch of statements.
+
+        All statements execute against shared scans: each referenced
+        table/device pair is resolved, column-selected, and transferred once
+        for the whole batch.
+        """
+        queries = [self.compile_query(s, device=device, extra_config=extra_config)
+                   for s in statements]
+        with shared_scans():
+            return [query.run(toPandas=toPandas) for query in queries]
+
     def reset(self) -> None:
         """Drop all registered tables and functions (test isolation)."""
         self.catalog.clear()
         self.functions.clear()
+        self.plan_cache.clear()

@@ -122,12 +122,16 @@ class FunctionRegistry:
 
     def __init__(self):
         self._functions: Dict[str, UdfInfo] = {}
+        # Monotonic change counter mirroring Catalog.version: registering or
+        # replacing a UDF invalidates cached plans that may reference it.
+        self.version = 0
 
     def register(self, info: UdfInfo, replace: bool = True) -> None:
         key = info.name.lower()
         if not replace and key in self._functions:
             raise UdfError(f"function {info.name!r} already registered")
         self._functions[key] = info
+        self.version += 1
 
     def lookup(self, name: str) -> Optional[UdfInfo]:
         return self._functions.get(name.lower())
@@ -137,6 +141,7 @@ class FunctionRegistry:
 
     def clear(self) -> None:
         self._functions.clear()
+        self.version += 1
 
 
 def make_udf_decorator(registry: FunctionRegistry):

@@ -16,6 +16,9 @@ class Catalog:
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._display: Dict[str, str] = {}
+        # Monotonic change counter: plan caches key on it so any
+        # register/drop/clear invalidates every cached plan.
+        self.version = 0
 
     def register(self, name: str, table: Table, replace: bool = True) -> None:
         key = name.lower()
@@ -23,6 +26,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already registered")
         self._tables[key] = table
         self._display[key] = name
+        self.version += 1
 
     def get(self, name: str) -> Table:
         key = name.lower()
@@ -36,6 +40,7 @@ class Catalog:
             raise CatalogError(f"cannot drop unknown table {name!r}")
         del self._tables[key]
         del self._display[key]
+        self.version += 1
 
     def names(self) -> List[str]:
         return [self._display[k] for k in self._tables]
@@ -46,3 +51,4 @@ class Catalog:
     def clear(self) -> None:
         self._tables.clear()
         self._display.clear()
+        self.version += 1

@@ -1,0 +1,217 @@
+"""Fused Filter/Project execution: plan shape and fused/unfused equivalence."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import Compiler
+from repro.core.config import QueryConfig
+from repro.core.operators import FusedFilterExec, FusedFilterProjectExec
+from repro.core.session import Session
+from repro.sql import bound as b
+from repro.sql import logical
+from repro.storage import types as dt
+
+UNFUSED = {"fuse_operators": False}
+
+
+@pytest.fixture
+def session():
+    rng = np.random.default_rng(0)
+    session = Session()
+    session.sql.register_dict({
+        "k": rng.integers(0, 20, size=500),
+        "a": rng.normal(size=500).astype(np.float32),
+        "b": rng.normal(size=500).astype(np.float32),
+        "s": rng.choice(["red", "green", "blue"], size=500),
+    }, "t")
+    return session
+
+
+# Queries exercising the fused paths, including the shapes used by
+# bench_ablation_operators (group-by over a filtered scan, top-k).
+EQUIVALENCE_QUERIES = [
+    "SELECT a, b FROM t WHERE a > 0",
+    "SELECT a + b AS s2, a * 2 AS d FROM t WHERE a > 0 AND b < 1 AND a < b",
+    "SELECT k FROM t WHERE a > 0 AND k < 10 AND s = 'red'",
+    "SELECT k, COUNT(*), SUM(a) FROM t WHERE a > 0 AND b < 0.5 GROUP BY k ORDER BY k",
+    "SELECT a FROM t WHERE s LIKE 'r%' ORDER BY a DESC LIMIT 5",
+    "SELECT ABS(a) AS m FROM t WHERE a BETWEEN -1 AND 1 AND k IN (1, 2, 3)",
+    "SELECT a FROM t WHERE a > 100",                     # empty result
+    "SELECT k, a FROM t WHERE k = 3 ORDER BY a LIMIT 7",
+]
+
+
+class TestFusedEquivalence:
+    @pytest.mark.parametrize("sql", EQUIVALENCE_QUERIES)
+    def test_fused_matches_unfused(self, session, sql):
+        fused = session.sql.query(sql).run(toPandas=True)
+        unfused = session.sql.query(sql, extra_config=UNFUSED).run(toPandas=True)
+        assert fused.equals(unfused, atol=1e-5)
+
+    @given(lo=st.floats(-2, 2), hi=st.floats(-2, 2))
+    @settings(max_examples=20, deadline=None)
+    def test_fused_range_filters_match(self, lo, hi):
+        rng = np.random.default_rng(5)
+        session = Session()
+        session.sql.register_dict(
+            {"x": rng.normal(size=200).astype(np.float32)}, "t")
+        sql = f"SELECT x * 2 AS y FROM t WHERE x > {lo} AND x < {hi}"
+        fused = session.sql.query(sql).run(toPandas=True)
+        unfused = session.sql.query(sql, extra_config=UNFUSED).run(toPandas=True)
+        assert fused.equals(unfused, atol=1e-5)
+
+
+class TestFusedPlanShape:
+    def test_filter_project_fuses(self, session):
+        plan = session.sql.query(
+            "SELECT a + b AS c FROM t WHERE a > 0 AND b < 1").explain()
+        assert "FusedFilterProject" in plan
+        assert "\nProject" not in plan.split("== Physical operators ==")[1]
+
+    def test_multi_conjunct_filter_fuses_without_project(self, session):
+        plan = session.sql.query(
+            "SELECT k, COUNT(*) FROM t WHERE a > 0 AND b < 1 GROUP BY k"
+        ).explain()
+        physical = plan.split("== Physical operators ==")[1]
+        assert "FusedFilter" in physical
+
+    def test_single_conjunct_never_uses_fused_filter_exec(self, session):
+        # One conjunct fuses with an adjacent Project (FusedFilterProject) but
+        # must not pay the FusedFilterExec wrapper on its own.
+        plan = session.sql.query(
+            "SELECT k, COUNT(*) FROM t WHERE a > 0 GROUP BY k").explain()
+        physical = plan.split("== Physical operators ==")[1]
+        assert "FusedFilter(" not in physical
+        assert "FusedFilterProject" in physical
+
+    def test_fusion_disabled_by_flag(self, session):
+        plan = session.sql.query(
+            "SELECT a + b AS c FROM t WHERE a > 0 AND b < 1",
+            extra_config=UNFUSED).explain()
+        physical = plan.split("== Physical operators ==")[1]
+        assert "Fused" not in physical
+        assert physical.count("Filter") == 2        # conjunct cascade preserved
+
+    def test_trainable_compilation_never_fuses(self, session):
+        plan = session.sql.query(
+            "SELECT SUM(a) FROM t WHERE a > 0 AND b < 1",
+            extra_config={"trainable": True}).explain()
+        assert "Fused" not in plan.split("== Physical operators ==")[1]
+
+
+class TestUdfFilterCascade:
+    def test_udf_conjunct_sees_prefiltered_rows(self, session):
+        seen_rows = []
+
+        @session.udf("bool", name="probe")
+        def probe(x):
+            seen_rows.append(x.shape[0])
+            return x > 0
+
+        out = session.sql.query(
+            "SELECT a FROM t WHERE k < 5 AND probe(a)").run(toPandas=True)
+        # The cheap k<5 conjunct must prune rows before the UDF runs: the
+        # (micro-batched) probe invocations together see < 500 rows.
+        assert 0 < sum(seen_rows) < 500
+        unfused = session.sql.query(
+            "SELECT a FROM t WHERE k < 5 AND probe(a)",
+            extra_config=UNFUSED).run(toPandas=True)
+        assert out.equals(unfused, atol=1e-6)
+
+
+class TestFilterChainOrder:
+    def test_inner_guard_filter_runs_before_outer_udf(self):
+        """A chained Filter below a UDF-bearing Filter must keep guarding it.
+
+        Lowering flattens Filter chains; the conjuncts must keep *execution*
+        order (innermost first) so the UDF never sees rows its guard
+        excluded.
+        """
+        session = Session()
+        session.sql.register_dict(
+            {"x": np.array([-3.0, -1.0, 0.5, 2.0, 4.0], dtype=np.float32)}, "t")
+        seen = []
+
+        @session.udf("bool", name="picky")
+        def picky(x):
+            assert (x.detach().data > 0).all(), "guard violated"
+            seen.append(x.shape[0])
+            return x > 1.0
+
+        info = session.functions.lookup("picky")
+        schema = [("x", dt.FLOAT)]
+        guard = logical.Filter(
+            logical.Scan("t", schema),
+            b.BBinary(">", b.BColumn(0, "x", dt.FLOAT),
+                      b.BLiteral(0.0, dt.FLOAT), dt.BOOL))
+        chained = logical.Filter(
+            guard, b.BCall(info, [b.BColumn(0, "x", dt.FLOAT)], dt.BOOL))
+        for config in (QueryConfig(), QueryConfig({"fuse_operators": False})):
+            seen.clear()
+            query = Compiler(session.catalog, config, "cpu").compile(
+                chained, "<manual>")
+            out = query.run(toPandas=True)
+            assert out["x"].tolist() == [2.0, 4.0]
+            assert sum(seen) == 3                # only the guarded rows
+
+
+class TestProjectProjectMerge:
+    def _nested_project_plan(self):
+        schema_in = [("x", dt.FLOAT)]
+        scan = logical.Scan("t", schema_in)
+        inner = logical.Project(
+            scan,
+            [b.BBinary("+", b.BColumn(0, "x", dt.FLOAT),
+                       b.BLiteral(1.0, dt.FLOAT), dt.FLOAT)],
+            [("y", dt.FLOAT)],
+        )
+        outer = logical.Project(
+            inner,
+            [b.BBinary("*", b.BColumn(0, "y", dt.FLOAT),
+                       b.BLiteral(2.0, dt.FLOAT), dt.FLOAT)],
+            [("z", dt.FLOAT)],
+        )
+        return outer
+
+    def test_adjacent_projects_collapse_to_one_operator(self):
+        session = Session()
+        session.sql.register_dict(
+            {"x": np.array([1.0, 2.0], dtype=np.float32)}, "t")
+        compiler = Compiler(session.catalog, QueryConfig(), "cpu")
+        query = compiler.compile(self._nested_project_plan(), "<manual>")
+        physical = query.root.pretty()
+        assert physical.count("Project") == 1
+        out = query.run(toPandas=True)
+        np.testing.assert_allclose(out["z"], [4.0, 6.0])
+
+    def test_merge_skipped_when_disabled(self):
+        session = Session()
+        session.sql.register_dict(
+            {"x": np.array([3.0], dtype=np.float32)}, "t")
+        compiler = Compiler(session.catalog,
+                            QueryConfig({"fuse_operators": False}), "cpu")
+        query = compiler.compile(self._nested_project_plan(), "<manual>")
+        assert query.root.pretty().count("Project") == 2
+        np.testing.assert_allclose(query.run(toPandas=True)["z"], [8.0])
+
+
+class TestFusedOperatorUnits:
+    def test_fused_filter_single_gather(self, session):
+        from repro.storage.table import Table
+        takes = []
+        original = Table.take
+
+        def counting_take(self, indices):
+            takes.append(len(self.columns))
+            return original(self, indices)
+
+        Table.take = counting_take
+        try:
+            session.sql.query(
+                "SELECT k, a, b, s FROM t WHERE a > 0 AND b > 0 AND k > 2").run()
+        finally:
+            Table.take = original
+        # One fused gather for three conjuncts (the seed cascade did three).
+        assert len(takes) == 0 or len(takes) == 1
