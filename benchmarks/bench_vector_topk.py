@@ -1,0 +1,108 @@
+"""Vector-index top-k benchmark (the PR's §5.1 approximate-indexing subsystem).
+
+End-to-end SQL comparison on the Fig 2 attachments corpus: the same
+``ORDER BY image_text_similarity(...) DESC LIMIT k`` statements executed
+
+* exactly — TinyCLIP scores every attachment, then TopK partitions; and
+* through ``CREATE VECTOR INDEX`` — the optimizer rewrites to
+  ``IndexScanExec``, which probes IVF cells over pre-computed embeddings
+  and only evaluates the UDF on the k emitted rows.
+
+Acceptance: >= 3x speedup at recall@10 >= 0.9. The corpus stays at the
+documented 200 attachments regardless of REPRO_BENCH_SCALE (recall targets
+are only meaningful at full corpus size); the scale knob trims repeats.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import bench_scale, print_table, scaled, time_call
+from repro.apps.multimodal import setup_multimodal
+from repro.core.session import Session
+
+K = 10
+QUERY_TEXTS = [
+    "receipt", "dog", "company logo", "beach", "KFC Receipt",
+    "mountain", "cat", "STARBUCKS receipt",
+]
+EXACT_CONFIG = {"disable_rules": ("vector_index",)}
+
+
+def _topk_sql(text: str, k: int = K) -> str:
+    return (f"SELECT attachment_id, image_text_similarity('{text}', images) "
+            f"AS score FROM Attachments ORDER BY score DESC LIMIT {k}")
+
+
+@pytest.fixture(scope="module")
+def topk_session(fig2_dataset, clip_model):
+    session = Session()
+    setup_multimodal(session, fig2_dataset, clip_model,
+                     vector_index=True, index_cells=16, index_nprobe=4)
+    return session
+
+
+class TestVectorTopK:
+    def test_speedup_and_recall(self, benchmark, topk_session):
+        """Acceptance: indexed top-k >= 3x faster at recall@10 >= 0.9."""
+        session = topk_session
+        indexed = [session.sql.query(_topk_sql(t)) for t in QUERY_TEXTS]
+        exact = [session.sql.query(_topk_sql(t), extra_config=EXACT_CONFIG)
+                 for t in QUERY_TEXTS]
+        for query in indexed:
+            assert "IndexScan" in query.explain()
+            query.run()                      # first run builds the index
+        for query in exact:
+            assert "IndexScan" not in query.explain()
+            query.run()
+
+        repeat = scaled(3)
+        indexed_s = time_call(lambda: [q.run() for q in indexed], repeat=repeat)
+        exact_s = time_call(lambda: [q.run() for q in exact], repeat=repeat)
+
+        recalls = []
+        for iq, eq in zip(indexed, exact):
+            approx = set(iq.run().column("attachment_id").tolist())
+            truth = set(eq.run().column("attachment_id").tolist())
+            recalls.append(len(approx & truth) / K)
+        recall = float(np.mean(recalls))
+        speedup = exact_s / indexed_s
+
+        print_table(
+            f"vector top-{K} over {len(QUERY_TEXTS)} queries "
+            f"(200 attachments, cells=16, nprobe=4)",
+            ["path", "seconds (batch)", f"recall@{K}", "speedup"],
+            [["exact scan + TopK", exact_s, 1.0, 1.0],
+             ["CREATE VECTOR INDEX + IndexScan", indexed_s, recall, speedup]],
+        )
+        assert recall >= 0.9
+        # The speedup target assumes the documented corpus/repeat sizes; a
+        # smoke run (scale < 1) only checks the indexed path stays ahead.
+        assert speedup >= (3.0 if bench_scale() >= 1 else 1.3)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_indexed_matches_exact_when_probing_everything(self, benchmark,
+                                                           fig2_dataset,
+                                                           clip_model):
+        """nprobe == cells probes every cell: results must match exactly."""
+        session = Session()
+        setup_multimodal(session, fig2_dataset, clip_model,
+                         vector_index=True, index_cells=16, index_nprobe=16)
+        for text in QUERY_TEXTS[:3]:
+            got = session.sql.query(_topk_sql(text)).run()
+            want = session.sql.query(_topk_sql(text),
+                                     extra_config=EXACT_CONFIG).run()
+            assert got.column("attachment_id").tolist() == \
+                want.column("attachment_id").tolist()
+            assert np.allclose(got.column("score"), want.column("score"))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_indexed_run(self, benchmark, topk_session):
+        query = topk_session.sql.query(_topk_sql("KFC Receipt"))
+        query.run()
+        benchmark.pedantic(lambda: query.run(), rounds=5, iterations=2)
+
+    def test_exact_run(self, benchmark, topk_session):
+        query = topk_session.sql.query(_topk_sql("KFC Receipt"),
+                                       extra_config=EXACT_CONFIG)
+        query.run()
+        benchmark.pedantic(lambda: query.run(), rounds=3, iterations=1)

@@ -22,12 +22,22 @@ from repro.ml.models.clip import TinyCLIP, load_pretrained_clip
 from repro.tcr.tensor import Tensor
 
 ATTACHMENTS_TABLE = "Attachments"
+IMAGES_INDEX = "attachments_images_ivf"
 
 
 def setup_multimodal(session: Session, dataset: Optional[AttachmentDataset] = None,
                      model: Optional[TinyCLIP] = None, device: str = "cpu",
-                     table_name: str = ATTACHMENTS_TABLE) -> TinyCLIP:
-    """Register the attachments table and the CLIP-backed similarity UDF."""
+                     table_name: str = ATTACHMENTS_TABLE,
+                     vector_index: bool = False, index_cells: int = 16,
+                     index_nprobe: int = 4) -> TinyCLIP:
+    """Register the attachments table and the CLIP-backed similarity UDF.
+
+    With ``vector_index=True`` an IVF-Flat index is also created over the
+    image column, so the Fig 2 top-k similarity queries plan through
+    ``IndexScanExec`` instead of scoring every attachment (paper §5.1's
+    approximate-indexing future work). Kept opt-in so the exact paper
+    reproduction workloads stay exact by default.
+    """
     if dataset is None:
         dataset = make_attachments(rng=np.random.default_rng(0))
     if model is None:
@@ -37,9 +47,17 @@ def setup_multimodal(session: Session, dataset: Optional[AttachmentDataset] = No
         table_name, device=device,
     )
 
-    @session.udf("float", name="image_text_similarity", modules=[model])
+    # ann="inner_product": calibrated similarity is a positive affine map of
+    # the towers' cosine, so index ranking by inner product is order-exact.
+    @session.udf("float", name="image_text_similarity", modules=[model],
+                 ann="inner_product")
     def image_text_similarity(query: str, images: Tensor) -> Tensor:
         return model.similarity(query, images)
+
+    if vector_index:
+        session.create_vector_index(IMAGES_INDEX, table_name, "images",
+                                    cells=index_cells, nprobe=index_nprobe,
+                                    replace=True)
 
     return model
 

@@ -15,15 +15,19 @@ from repro.errors import PlanError
 from repro.core.compiled_query import CompiledQuery, ExecNode
 from repro.core.config import QueryConfig
 from repro.core.operators import (
+    CreateIndexExec,
     DistinctExec,
+    DropIndexExec,
     FilterExec,
     FusedFilterExec,
     FusedFilterProjectExec,
     HashAggregateExec,
+    IndexScanExec,
     JoinExec,
     LimitExec,
     ProjectExec,
     ScanExec,
+    ShowIndexesExec,
     SoftAggregateExec,
     SoftFilterExec,
     SortAggregateExec,
@@ -38,10 +42,11 @@ from repro.tcr.device import Device, as_device
 
 
 class Compiler:
-    def __init__(self, catalog, config: QueryConfig, device):
+    def __init__(self, catalog, config: QueryConfig, device, indexes=None):
         self.catalog = catalog
         self.config = config
         self.device = as_device(device)
+        self.indexes = indexes          # the session's IndexManager (or None)
 
     def compile(self, plan: logical.LogicalPlan, sql_text: str) -> CompiledQuery:
         root = self._lower(plan)
@@ -109,6 +114,22 @@ class Compiler:
         if isinstance(plan, logical.Distinct):
             child = self._lower(plan.input)
             return ExecNode(DistinctExec(), [child])
+
+        if isinstance(plan, logical.TopKSimilarity):
+            if self.indexes is None:
+                raise PlanError("TopKSimilarity requires a session IndexManager")
+            child = self._lower(plan.input)
+            return ExecNode(IndexScanExec(self.indexes, plan), [child])
+
+        if isinstance(plan, (logical.CreateIndex, logical.DropIndex,
+                             logical.ShowIndexes)):
+            if self.indexes is None:
+                raise PlanError("index DDL requires a session IndexManager")
+            if isinstance(plan, logical.CreateIndex):
+                return ExecNode(CreateIndexExec(self.indexes, plan), [])
+            if isinstance(plan, logical.DropIndex):
+                return ExecNode(DropIndexExec(self.indexes, plan), [])
+            return ExecNode(ShowIndexesExec(self.indexes), [])
 
         raise PlanError(f"cannot lower {type(plan).__name__}")
 

@@ -14,7 +14,7 @@ class constants:
     JOIN_IMPL = "join_impl"                # auto | lookup | sortmerge
     TOPK_IMPL = "topk_impl"                # auto | sort | partition
     # Optimizer control.
-    DISABLE_RULES = "disable_rules"        # iterable of {fold, pushdown, prune}
+    DISABLE_RULES = "disable_rules"        # iterable of {fold, pushdown, prune, vector_index}
     # Soft-operator hyperparameters.
     SOFT_FILTER = "soft_filter"            # relax WHERE into row weights
     SOFT_TEMPERATURE = "soft_temperature"  # sigmoid sharpness for soft filters

@@ -4,6 +4,12 @@ from repro.core.operators.aggregate import HashAggregateExec, SortAggregateExec
 from repro.core.operators.base import Operator, Relation
 from repro.core.operators.filter import FilterExec, SoftFilterExec
 from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec
+from repro.core.operators.index_scan import (
+    CreateIndexExec,
+    DropIndexExec,
+    IndexScanExec,
+    ShowIndexesExec,
+)
 from repro.core.operators.join import JoinExec, equi_join_indices
 from repro.core.operators.project import ProjectExec, TVFExec
 from repro.core.operators.scan import ScanExec, shared_scans
@@ -11,9 +17,10 @@ from repro.core.operators.soft_aggregate import SoftAggregateExec
 from repro.core.operators.sort import DistinctExec, LimitExec, SortExec, TopKExec
 
 __all__ = [
-    "DistinctExec", "FilterExec", "FusedFilterExec", "FusedFilterProjectExec",
-    "HashAggregateExec", "JoinExec", "LimitExec",
-    "Operator", "ProjectExec", "Relation", "ScanExec", "SoftAggregateExec",
+    "CreateIndexExec", "DistinctExec", "DropIndexExec", "FilterExec",
+    "FusedFilterExec", "FusedFilterProjectExec", "HashAggregateExec",
+    "IndexScanExec", "JoinExec", "LimitExec", "Operator", "ProjectExec",
+    "Relation", "ScanExec", "ShowIndexesExec", "SoftAggregateExec",
     "SoftFilterExec", "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
     "equi_join_indices", "shared_scans",
 ]

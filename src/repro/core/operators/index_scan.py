@@ -1,0 +1,181 @@
+"""Vector-index physical operators: ANN top-k scans and index DDL.
+
+``IndexScanExec`` is what the ``vector_index`` optimizer rule lowers
+:class:`~repro.sql.logical.TopKSimilarity` to. Per probe it:
+
+1. resolves the index entry through the session's ``IndexManager`` —
+   rebuilding lazily if the base table changed since the last build;
+2. embeds the query text with the model behind the similarity UDF and
+   probes ``nprobe`` IVF cells (exact scoring inside probed cells);
+3. gathers the candidate rows, post-filters them with any residual WHERE
+   conjuncts (over-fetching first, escalating to a full probe when too few
+   survive), and
+4. re-ranks/projects *exactly*: the final projection — including the
+   similarity expression itself — is evaluated by the ordinary expression
+   interpreter over just the chosen rows, so the emitted scores are
+   bit-identical to the unindexed plan's.
+
+When the index cannot serve the query at run time (entry dropped, model
+mismatch, embedding failure) the operator degrades to the exact
+Filter→Project→TopK pipeline it replaced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import CatalogError, ExecutionError
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.operators.base import Operator, Relation
+from repro.core.operators.filter import FilterExec
+from repro.core.operators.project import ProjectExec
+from repro.core.operators.sort import TopKExec
+from repro.sql import bound as b
+from repro.storage.column import Column
+from repro.storage.table import Table
+
+
+class IndexScanExec(Operator):
+    """Probe an IVF index for the top-k rows by similarity, then re-rank."""
+
+    # With residual predicates we cannot know selectivity up front: fetch a
+    # multiple of k, and escalate to an exhaustive probe if too few survive.
+    OVERFETCH = 4
+
+    def __init__(self, manager, plan):
+        super().__init__()
+        self.manager = manager
+        self.index_name = plan.index_name
+        self.query_text = plan.query_text
+        self.sim_expr = plan.sim_expr
+        self.exprs = list(plan.exprs)
+        self.names = [name for name, _ in plan.schema]
+        self.residual = plan.residual
+        self.k = plan.k
+        self.offset = plan.offset
+        self._register_expr_udfs(
+            self.exprs + [self.sim_expr]
+            + ([self.residual] if self.residual else []))
+
+    @property
+    def _sim_udf(self):
+        return self.sim_expr.udf if isinstance(self.sim_expr, b.BCall) else None
+
+    def forward(self, relation: Relation) -> Relation:
+        entry = self.manager.lookup(self.index_name)
+        udf = self._sim_udf
+        if entry is None or udf is None or not self.manager.supports(entry, udf):
+            return self._exact(relation)
+        try:
+            index = self.manager.ensure_built(entry, udf)
+            query_vec = self.manager.embed_query(entry, self.query_text)
+        except (CatalogError, ExecutionError):
+            return self._exact(relation)
+
+        n = relation.num_rows
+        want = self.k + self.offset
+        if self.residual is None:
+            ids, _ = index.search(query_vec, want, nprobe=entry.nprobe)
+            if len(ids) < min(want, n):
+                # Probed cells were too sparse: escalate to a full probe.
+                ids, _ = index.search(query_vec, want, nprobe=index.num_lists)
+        else:
+            fetch = min(n, max(self.OVERFETCH * want, want + 16))
+            ids, _ = index.search(query_vec, fetch, nprobe=entry.nprobe)
+            ids = self._apply_residual(relation, ids)
+            if len(ids) < want and (fetch < n or entry.nprobe < index.num_lists):
+                # Escalate: probe every cell and rescue the exact answer.
+                ids, _ = index.search(query_vec, n, nprobe=index.num_lists)
+                ids = self._apply_residual(relation, ids)
+        chosen = ids[self.offset:want]
+        subset = Relation(relation.table.take(chosen))
+        return ProjectExec(self.exprs, self.names)(subset)
+
+    def _apply_residual(self, relation: Relation, ids: np.ndarray) -> np.ndarray:
+        """Keep candidate ids (already score-ordered) passing the residual."""
+        if ids.size == 0:
+            return ids
+        candidates = relation.table.take(ids)
+        mask = ExpressionEvaluator(candidates).evaluate_mask(self.residual)
+        return ids[mask]
+
+    def _exact(self, relation: Relation) -> Relation:
+        """Unindexed fallback: Filter -> exact TopK by sim_expr -> Project."""
+        if self.residual is not None:
+            relation = FilterExec(self.residual)(relation)
+        top = TopKExec([(self.sim_expr, False)], self.k, self.offset)(relation)
+        return ProjectExec(self.exprs, self.names)(top)
+
+    def describe(self) -> str:
+        entry = self.manager.lookup(self.index_name)
+        nprobe = entry.nprobe if entry is not None else "?"
+        residual = f", residual={self.residual}" if self.residual is not None else ""
+        return (f"IndexScan({self.index_name}, q={self.query_text!r}, "
+                f"k={self.k}, nprobe={nprobe}{residual})")
+
+
+def _status_relation(message: str) -> Relation:
+    column = Column.from_values("status", np.asarray([message], dtype=object))
+    return Relation(Table("result", [column]))
+
+
+class CreateIndexExec(Operator):
+    """Register a vector index in the session's IndexManager (lazy build)."""
+
+    def __init__(self, manager, plan):
+        super().__init__()
+        self.manager = manager
+        self.plan = plan
+
+    def forward(self, relation: Relation = None) -> Relation:
+        spec = self.plan
+        self.manager.create(spec.name, spec.table, spec.column, cells=spec.cells,
+                            nprobe=spec.nprobe, seed=spec.seed)
+        return _status_relation(
+            f"created vector index {spec.name} on {spec.table}({spec.column})"
+        )
+
+    def describe(self) -> str:
+        return f"CreateIndex({self.plan.name})"
+
+
+class DropIndexExec(Operator):
+    def __init__(self, manager, plan):
+        super().__init__()
+        self.manager = manager
+        self.plan = plan
+
+    def forward(self, relation: Relation = None) -> Relation:
+        dropped = self.manager.drop(self.plan.name, if_exists=self.plan.if_exists)
+        message = (f"dropped index {self.plan.name}" if dropped
+                   else f"index {self.plan.name} does not exist, skipped")
+        return _status_relation(message)
+
+    def describe(self) -> str:
+        return f"DropIndex({self.plan.name})"
+
+
+class ShowIndexesExec(Operator):
+    def __init__(self, manager):
+        super().__init__()
+        self.manager = manager
+
+    def forward(self, relation: Relation = None) -> Relation:
+        entries = self.manager.entries()
+        columns = [
+            Column.from_values("name", np.asarray([e.name for e in entries], dtype=object)),
+            Column.from_values("table", np.asarray([e.table for e in entries], dtype=object)),
+            Column.from_values("column", np.asarray([e.column for e in entries], dtype=object)),
+            Column.from_values("cells", np.asarray([e.cells for e in entries], dtype=np.int64)),
+            Column.from_values("nprobe", np.asarray([e.nprobe for e in entries], dtype=np.int64)),
+            Column.from_values("rows", np.asarray(
+                [len(e.index) if e.is_built else 0 for e in entries], dtype=np.int64)),
+            Column.from_values("status", np.asarray(
+                [self.manager.status(e) for e in entries], dtype=object)),
+        ]
+        return Relation(Table("indexes", columns))
+
+    def describe(self) -> str:
+        return "ShowIndexes"

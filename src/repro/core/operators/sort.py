@@ -80,7 +80,8 @@ class TopKExec(Operator):
         candidates = np.argpartition(array, want - 1)[:want]
         candidates = candidates[np.argsort(array[candidates], kind="stable")]
         chosen = candidates[self.offset:self.offset + self.k]
-        return Relation(relation.table.take(chosen))
+        weights = relation.weights[chosen.tolist()] if relation.weights is not None else None
+        return Relation(relation.table.take(chosen), weights)
 
     def describe(self) -> str:
         return f"TopK(k={self.k})"
@@ -106,13 +107,17 @@ class DistinctExec(Operator):
     def forward(self, relation: Relation) -> Relation:
         if relation.num_rows == 0:
             return relation
-        arrays = []
+        # Factorize each key column separately: casting int64 through float64
+        # collapses distinct keys above 2^53 (the HashAggregate bug class).
+        codes = []
         for column in relation.table.columns:
             data = column.tensor.detach().data
             if data.ndim != 1:
                 raise ExecutionError("DISTINCT over tensor columns is not supported")
-            arrays.append(data.astype(np.float64))
-        stacked = np.stack(arrays, axis=1)
+            _, inverse = np.unique(data, return_inverse=True)
+            codes.append(inverse.astype(np.int64))
+        stacked = np.stack(codes, axis=1)
         _, first = np.unique(stacked, axis=0, return_index=True)
         keep = np.sort(first)      # preserve first-occurrence order
-        return Relation(relation.table.take(keep))
+        weights = relation.weights[keep.tolist()] if relation.weights is not None else None
+        return Relation(relation.table.take(keep), weights)

@@ -8,8 +8,9 @@
 
 from __future__ import annotations
 
+import re
 from collections import OrderedDict
-from typing import List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -17,6 +18,7 @@ from repro.errors import CatalogError
 from repro.core.compiled_query import CompiledQuery
 from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig, constants
+from repro.core.indexes import IndexEntry, IndexManager
 from repro.core.operators.scan import shared_scans
 from repro.core.udf import FunctionRegistry, make_udf_decorator
 from repro.sql.binder import Binder
@@ -140,12 +142,19 @@ class SqlNamespace:
                                            extra_config=extra_config)
 
 
+# DDL statements mutate session state when run: never serve them from (or
+# admit them to) the plan cache.
+_DDL_PREFIX = re.compile(r"^\s*(create|drop|show)\b", re.IGNORECASE)
+
+
 class Session:
-    """One TDP instance: a catalog, a UDF registry, and query compilation."""
+    """One TDP instance: a catalog, a UDF registry, vector indexes, and
+    query compilation."""
 
     def __init__(self, plan_cache_size: int = 128):
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
+        self.indexes = IndexManager(self.catalog)
         self.sql = SqlNamespace(self)
         self.spark = self.sql.spark
         self.constants = constants
@@ -159,14 +168,18 @@ class Session:
         Repeated compilations of the same statement against an unchanged
         catalog/UDF registry return the cached plan. Trainable queries are
         never cached: they own parameters and train/eval state that must be
-        private to each compilation.
+        private to each compilation. The key includes the index epoch, so
+        ``CREATE``/``DROP INDEX`` invalidates plans that chose (or missed)
+        an ANN access path.
         """
         config = QueryConfig(extra_config)
-        cacheable = config.plan_cache and not config.trainable
+        cacheable = (config.plan_cache and not config.trainable
+                     and not _DDL_PREFIX.match(statement))
         key = None
         if cacheable:
             key = (statement, str(as_device(device)), config.fingerprint(),
-                   self.catalog.version, self.functions.version)
+                   self.catalog.version, self.functions.version,
+                   self.indexes.epoch)
             cached = self.plan_cache.get(key)
             if cached is not None:
                 return cached
@@ -179,9 +192,34 @@ class Session:
                           device: str) -> CompiledQuery:
         ast = parse(statement)
         plan = Binder(self.catalog, self.functions).bind(ast)
-        plan = optimize(plan, config.as_optimizer_config())
-        compiler = Compiler(self.catalog, config, device)
+        opt_config = config.as_optimizer_config()
+        if not config.trainable:
+            # The vector_index rule needs the index registry; trainable
+            # compilations keep the exact differentiable pipeline.
+            opt_config["indexes"] = self.indexes
+        plan = optimize(plan, opt_config)
+        compiler = Compiler(self.catalog, config, device, indexes=self.indexes)
         return compiler.compile(plan, statement)
+
+    # ------------------------------------------------------------------
+    # Vector indexes (Python-native DDL path)
+    # ------------------------------------------------------------------
+    def create_vector_index(self, name: str, table: str, column: str,
+                            cells: int = 16, nprobe: Optional[int] = None,
+                            seed: int = 0, embedder: Optional[Callable] = None,
+                            replace: bool = False) -> IndexEntry:
+        """Register a vector index (same effect as ``CREATE VECTOR INDEX``).
+
+        ``embedder`` optionally maps the column tensor to (n, d) vectors;
+        without it the index binds to the two-tower model of the first
+        similarity UDF that queries it (raw 2-D float columns index as-is).
+        """
+        return self.indexes.create(name, table, column, cells=cells,
+                                   nprobe=nprobe, seed=seed, embedder=embedder,
+                                   replace=replace)
+
+    def drop_index(self, name: str, if_exists: bool = False) -> bool:
+        return self.indexes.drop(name, if_exists=if_exists)
 
     def execute_many(self, statements: Sequence[str], device: str = "cpu",
                      extra_config: Optional[Mapping[str, object]] = None,
@@ -198,7 +236,8 @@ class Session:
             return [query.run(toPandas=toPandas) for query in queries]
 
     def reset(self) -> None:
-        """Drop all registered tables and functions (test isolation)."""
+        """Drop all registered tables, functions and indexes (test isolation)."""
         self.catalog.clear()
         self.functions.clear()
+        self.indexes.clear()
         self.plan_cache.clear()

@@ -72,6 +72,9 @@ def collect_modules(func: Callable) -> List[Module]:
     return modules
 
 
+ANN_METRICS = ("inner_product", "cosine")
+
+
 @dataclasses.dataclass
 class UdfInfo:
     """Registry entry for one user-defined (table-valued) function."""
@@ -81,6 +84,11 @@ class UdfInfo:
     output_schema: List[Tuple[str, dt.DataType]]
     modules: List[Module]
     encoded_io: bool = False     # pass/accept EncodedTensor instead of Tensor
+    # Declared ANN contract: set to "inner_product"/"cosine" when the UDF's
+    # scores are monotone in that metric over its model's embedding space.
+    # Only declared UDFs are eligible for vector-index acceleration — the
+    # optimizer cannot infer monotonicity from an arbitrary function body.
+    ann_metric: Optional[str] = None
 
     @property
     def is_table_valued(self) -> bool:
@@ -149,8 +157,12 @@ def make_udf_decorator(registry: FunctionRegistry):
 
     def tdp_udf(schema_text: str, name: Optional[str] = None,
                 modules: Optional[Sequence[Module]] = None,
-                encoded_io: bool = False):
+                encoded_io: bool = False, ann: Optional[str] = None):
         output_schema = parse_output_schema(schema_text)
+        if ann is not None and ann not in ANN_METRICS:
+            raise UdfError(
+                f"unknown ann metric {ann!r}; valid: {list(ANN_METRICS)}"
+            )
 
         def decorate(func: Callable) -> Callable:
             found = list(modules) if modules is not None else collect_modules(func)
@@ -160,6 +172,7 @@ def make_udf_decorator(registry: FunctionRegistry):
                 output_schema=output_schema,
                 modules=found,
                 encoded_io=encoded_io,
+                ann_metric=ann,
             )
             registry.register(info)
             func.udf_info = info

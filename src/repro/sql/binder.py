@@ -156,7 +156,45 @@ class Binder:
     # ------------------------------------------------------------------
     # Entry
     # ------------------------------------------------------------------
-    def bind(self, stmt: nodes.SelectStmt) -> logical.LogicalPlan:
+    def bind(self, stmt: nodes.Statement) -> logical.LogicalPlan:
+        if isinstance(stmt, nodes.CreateVectorIndexStmt):
+            return self._bind_create_index(stmt)
+        if isinstance(stmt, nodes.DropIndexStmt):
+            return logical.DropIndex(stmt.name, stmt.if_exists)
+        if isinstance(stmt, nodes.ShowIndexesStmt):
+            return logical.ShowIndexes()
+        return self._bind_select(stmt)
+
+    def _bind_create_index(self, stmt: nodes.CreateVectorIndexStmt) -> logical.LogicalPlan:
+        if stmt.table not in self.catalog:
+            raise BindError(
+                f"cannot index unknown table {stmt.table!r}; "
+                f"registered: {self.catalog.names()}"
+            )
+        table = self.catalog.get(stmt.table)
+        if not table.has_column(stmt.column):
+            raise BindError(
+                f"table {stmt.table!r} has no column {stmt.column!r}; "
+                f"columns: {table.column_names}"
+            )
+        options = dict(stmt.options)
+        cells = options.pop("cells", 16)
+        nprobe = options.pop("nprobe", None)
+        seed = options.pop("seed", 0)
+        if options:
+            raise BindError(
+                f"unknown index options {sorted(options)}; "
+                f"valid: ['cells', 'nprobe', 'seed']"
+            )
+        for key, value in (("cells", cells), ("nprobe", nprobe), ("seed", seed)):
+            if value is not None and (not isinstance(value, int) or isinstance(value, bool)):
+                raise BindError(f"index option {key!r} must be an integer, got {value!r}")
+        if cells < 1 or (nprobe is not None and nprobe < 1):
+            raise BindError("index options cells/nprobe must be >= 1")
+        return logical.CreateIndex(stmt.name, stmt.table, stmt.column,
+                                   cells=cells, nprobe=nprobe, seed=seed)
+
+    def _bind_select(self, stmt: nodes.SelectStmt) -> logical.LogicalPlan:
         if stmt.from_clause is None:
             raise BindError("queries without a FROM clause are not supported")
         plan, scope = self._bind_from(stmt.from_clause)

@@ -19,6 +19,10 @@ KEYWORDS = {
     "CAST", "UNION", "ALL", "OFFSET",
 }
 
+# Vector-index DDL words (CREATE, DROP, INDEX, WITH, ...) are deliberately
+# NOT reserved: the parser matches them contextually as "soft" keywords, so
+# existing schemas with columns named `index`/`with`/`show` keep parsing.
+
 SYMBOLS = ["<>", "!=", ">=", "<=", "=", "<", ">", "(", ")", ",", "+", "-",
            "*", "/", "%", ".", ";"]
 

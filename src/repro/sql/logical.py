@@ -209,3 +209,97 @@ class Distinct(LogicalPlan):
 
     def with_children(self, children):
         return Distinct(children[0])
+
+
+@dataclasses.dataclass
+class TopKSimilarity(LogicalPlan):
+    """ANN-accelerated ``ORDER BY <similarity> DESC LIMIT k`` over a scan.
+
+    Produced by the optimizer's ``vector_index`` rule when the sort key is a
+    similarity call over an indexed embedding column. ``exprs`` (the final
+    projection), ``residual`` (leftover WHERE conjuncts, post-filtered over
+    index candidates) and ``sim_expr`` (the ranking similarity call) are
+    all bound against the input scan's schema.
+    """
+    input: LogicalPlan                  # the Scan feeding candidate rows
+    index_name: str
+    table_name: str
+    column: str                         # indexed embedding column
+    query_text: str                     # the literal text argument
+    sim_expr: BoundExpr                 # the similarity call ranking rows
+    exprs: List[BoundExpr]
+    residual: Optional[BoundExpr]
+    k: int
+    offset: int
+    schema: Schema
+
+    def children(self):
+        return [self.input]
+
+    def with_children(self, children):
+        return dataclasses.replace(self, input=children[0])
+
+    def describe(self):
+        return (f"TopKSimilarity(index={self.index_name}, "
+                f"{self.table_name}.{self.column}, q={self.query_text!r}, "
+                f"k={self.k})")
+
+
+# ----------------------------------------------------------------------
+# DDL plans (vector-index subsystem)
+# ----------------------------------------------------------------------
+
+class DdlPlan(LogicalPlan):
+    """Base for statements that mutate/inspect session state when run.
+
+    DDL plans skip the optimizer and are never plan-cached; they lower to
+    operators that act on the session's :class:`IndexManager`.
+    """
+
+    def children(self):
+        return []
+
+    def with_children(self, children):
+        assert not children
+        return self
+
+
+STATUS_SCHEMA: Schema = [("status", dt.STRING)]
+SHOW_INDEXES_SCHEMA: Schema = [
+    ("name", dt.STRING), ("table", dt.STRING), ("column", dt.STRING),
+    ("cells", dt.INT), ("nprobe", dt.INT), ("rows", dt.INT),
+    ("status", dt.STRING),
+]
+
+
+@dataclasses.dataclass
+class CreateIndex(DdlPlan):
+    name: str
+    table: str
+    column: str
+    cells: int = 16
+    nprobe: Optional[int] = None
+    seed: int = 0
+    schema: Schema = dataclasses.field(default_factory=lambda: list(STATUS_SCHEMA))
+
+    def describe(self):
+        return f"CreateIndex({self.name} ON {self.table}({self.column}))"
+
+
+@dataclasses.dataclass
+class DropIndex(DdlPlan):
+    name: str
+    if_exists: bool = False
+    schema: Schema = dataclasses.field(default_factory=lambda: list(STATUS_SCHEMA))
+
+    def describe(self):
+        return f"DropIndex({self.name})"
+
+
+@dataclasses.dataclass
+class ShowIndexes(DdlPlan):
+    schema: Schema = dataclasses.field(
+        default_factory=lambda: list(SHOW_INDEXES_SCHEMA))
+
+    def describe(self):
+        return "ShowIndexes"

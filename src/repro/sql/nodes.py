@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 
 class Expr:
@@ -175,3 +175,31 @@ class SelectStmt:
     limit: Optional[int] = None
     offset: Optional[int] = None
     distinct: bool = False
+
+
+# ----------------------------------------------------------------------
+# DDL statements (vector-index subsystem)
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CreateVectorIndexStmt:
+    """``CREATE VECTOR INDEX name ON table(column) WITH (cells=.., nprobe=..)``."""
+    name: str
+    table: str
+    column: str
+    options: Dict[str, object] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass
+class DropIndexStmt:
+    """``DROP INDEX [IF EXISTS] name``."""
+    name: str
+    if_exists: bool = False
+
+
+@dataclasses.dataclass
+class ShowIndexesStmt:
+    """``SHOW INDEXES``."""
+
+
+Statement = Union[SelectStmt, CreateVectorIndexStmt, DropIndexStmt, ShowIndexesStmt]

@@ -28,13 +28,20 @@ def _fold_plan(plan: logical.LogicalPlan) -> logical.LogicalPlan:
     return plan
 
 
-DEFAULT_RULES = ("fold", "pushdown", "prune")
+DEFAULT_RULES = ("fold", "pushdown", "prune", "vector_index")
 
 
 def optimize(plan: logical.LogicalPlan,
              config: Optional[Mapping[str, object]] = None) -> logical.LogicalPlan:
-    """Apply the enabled rewrite rules to a bound logical plan."""
+    """Apply the enabled rewrite rules to a bound logical plan.
+
+    DDL plans pass through untouched. The ``vector_index`` rule runs last
+    (over pruned shapes) and only when the caller supplies the session's
+    ``IndexManager`` under ``config["indexes"]``.
+    """
     config = config or {}
+    if isinstance(plan, logical.DdlPlan):
+        return plan
     disabled = set(config.get("disable_rules", ()))
     if "fold" not in disabled:
         plan = _fold_plan(plan)
@@ -42,4 +49,8 @@ def optimize(plan: logical.LogicalPlan,
         plan = push_down(plan)
     if "prune" not in disabled:
         plan = prune(plan)
+    indexes = config.get("indexes")
+    if "vector_index" not in disabled and indexes is not None:
+        from repro.sql.optimizer.vector_topk import rewrite_topk_similarity
+        plan = rewrite_topk_similarity(plan, indexes)
     return plan

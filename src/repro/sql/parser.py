@@ -49,11 +49,39 @@ class Parser:
             )
         return self._advance()
 
+    # Soft keywords: DDL words are ordinary identifiers elsewhere, so
+    # pre-existing schemas with columns named `index`/`with`/... still parse.
+    def _check_word(self, word: str) -> bool:
+        token = self._peek()
+        return token.kind == "IDENT" and token.value.upper() == word
+
+    def _accept_word(self, word: str) -> bool:
+        if self._check_word(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> Token:
+        if not self._check_word(word):
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"expected {word} but found {token.value or 'end of input'!r} "
+                f"at position {token.position} in query: {self.text!r}"
+            )
+        return self._advance()
+
     # ------------------------------------------------------------------
     # Entry point
     # ------------------------------------------------------------------
-    def parse(self) -> nodes.SelectStmt:
-        stmt = self._select_stmt()
+    def parse(self) -> nodes.Statement:
+        if self._check_word("CREATE"):
+            stmt = self._create_index_stmt()
+        elif self._check_word("DROP"):
+            stmt = self._drop_index_stmt()
+        elif self._check_word("SHOW"):
+            stmt = self._show_indexes_stmt()
+        else:
+            stmt = self._select_stmt()
         self._accept("SYMBOL", ";")
         if not self._check("EOF"):
             token = self._peek()
@@ -61,6 +89,64 @@ class Parser:
                 f"unexpected trailing input {token.value!r} at position {token.position}"
             )
         return stmt
+
+    # ------------------------------------------------------------------
+    # DDL statements (vector-index subsystem)
+    # ------------------------------------------------------------------
+    def _create_index_stmt(self) -> nodes.CreateVectorIndexStmt:
+        self._expect_word("CREATE")
+        self._expect_word("VECTOR")
+        self._expect_word("INDEX")
+        name = self._expect_name()
+        self._expect("KEYWORD", "ON")
+        table = self._expect_name()
+        self._expect("SYMBOL", "(")
+        column = self._expect_name()
+        self._expect("SYMBOL", ")")
+        options = {}
+        if self._accept_word("WITH"):
+            self._expect("SYMBOL", "(")
+            options.update(self._index_option())
+            while self._accept("SYMBOL", ","):
+                options.update(self._index_option())
+            self._expect("SYMBOL", ")")
+        return nodes.CreateVectorIndexStmt(name=name, table=table, column=column,
+                                           options=options)
+
+    def _index_option(self) -> dict:
+        key = self._expect_name().lower()
+        self._expect("SYMBOL", "=")
+        token = self._peek()
+        if token.kind == "NUMBER":
+            self._advance()
+            text = token.value
+            value = float(text) if ("." in text or "e" in text.lower()) else int(text)
+        elif token.kind == "STRING":
+            self._advance()
+            value = token.value
+        else:
+            raise SqlSyntaxError(
+                f"index option {key!r} needs a number or string value, found "
+                f"{token.value or 'end of input'!r} at position {token.position}"
+            )
+        return {key: value}
+
+    def _drop_index_stmt(self) -> nodes.DropIndexStmt:
+        self._expect_word("DROP")
+        self._expect_word("INDEX")
+        if_exists = False
+        # Greedy IF EXISTS pair (an index literally named `if` needs quoting).
+        if self._check_word("IF") and self._peek(1).kind == "IDENT" \
+                and self._peek(1).value.upper() == "EXISTS":
+            self._advance()
+            self._advance()
+            if_exists = True
+        return nodes.DropIndexStmt(name=self._expect_name(), if_exists=if_exists)
+
+    def _show_indexes_stmt(self) -> nodes.ShowIndexesStmt:
+        self._expect_word("SHOW")
+        self._expect_word("INDEXES")
+        return nodes.ShowIndexesStmt()
 
     # ------------------------------------------------------------------
     # Statements
@@ -352,6 +438,6 @@ class Parser:
         return nodes.Case(whens=whens, else_=else_)
 
 
-def parse(text: str) -> nodes.SelectStmt:
-    """Parse a SQL SELECT statement into an AST."""
+def parse(text: str) -> nodes.Statement:
+    """Parse a SQL statement (SELECT or vector-index DDL) into an AST."""
     return Parser(text).parse()

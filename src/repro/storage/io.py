@@ -14,13 +14,30 @@ from repro.storage.table import Table
 
 
 def _infer_column(values: List[str]) -> np.ndarray:
-    """Infer int → float → string for a parsed CSV column."""
+    """Infer int → float → string for a parsed CSV column.
+
+    Empty fields are NULLs: a numeric column with missing values becomes
+    float with NaN holes (int64 cannot represent NULL); an all-empty column
+    is all-NaN float; string columns keep empty strings as-is.
+    """
+    present = [v for v in values if v != ""]
+    if not present:
+        return np.full(len(values), np.nan, dtype=np.float32)
     try:
-        return np.asarray([int(v) for v in values], dtype=np.int64)
+        ints = [int(v) for v in present]
     except ValueError:
-        pass
+        ints = None
+    if ints is not None:
+        if len(present) == len(values):
+            return np.asarray(ints, dtype=np.int64)
+        # Int column with NULL holes: float64 keeps values exact up to 2^53
+        # (float32 would corrupt ids above 2^24 — the DistinctExec bug class).
+        out = np.full(len(values), np.nan, dtype=np.float64)
+        out[np.asarray([v != "" for v in values])] = ints
+        return out
     try:
-        return np.asarray([float(v) for v in values], dtype=np.float32)
+        return np.asarray([float(v) if v != "" else np.nan for v in values],
+                          dtype=np.float32)
     except ValueError:
         pass
     return np.asarray(values, dtype=object)
@@ -38,7 +55,9 @@ def read_csv(path: str) -> DataFrame:
     header, body = rows[0], rows[1:]
     frame = DataFrame()
     for i, name in enumerate(header):
-        frame[name] = _infer_column([row[i] for row in body])
+        # Rows shorter than the header (including blank lines) are padded
+        # with empty fields, which _infer_column treats as NULLs.
+        frame[name] = _infer_column([row[i] if i < len(row) else "" for row in body])
     return frame
 
 

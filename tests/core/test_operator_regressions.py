@@ -152,3 +152,47 @@ class TestEmptyAggregateDtypes:
         assert len(empty) == 0
         for name in empty.column_names:
             assert empty.column(name).dtype == full.column(name).dtype, name
+
+
+class TestTopKWeights:
+    def test_argpartition_fast_path_preserves_weights(self):
+        # The seed's TopK fast path rebuilt the Relation without weights,
+        # silently dropping soft-filter multiplicities; the sort fallback
+        # (multi-key or k >= n) kept them.
+        from repro.core.operators.base import Relation
+        from repro.core.operators.sort import TopKExec
+        from repro.sql import bound as b
+        from repro.storage import types as dt
+        from repro.storage.table import Table
+        from repro.tcr.tensor import Tensor
+
+        values = np.array([5.0, 1.0, 4.0, 2.0, 3.0], dtype=np.float32)
+        weights = Tensor(np.array([0.5, 0.1, 0.4, 0.2, 0.3], dtype=np.float32))
+        relation = Relation(Table.from_dict("t", {"v": values}), weights)
+        key = b.BColumn(0, "v", dt.FLOAT)
+        out = TopKExec([(key, False)], k=2)(relation)   # fast path: n > k
+        assert out.table.column("v").decode().tolist() == [5.0, 4.0]
+        assert out.weights is not None
+        assert out.weights.data.tolist() == pytest.approx([0.5, 0.4])
+
+
+class TestDistinctLargeIntKeys:
+    def test_no_float64_collapse_above_2_to_53(self):
+        session = Session()
+        session.sql.register_dict(
+            {"k": np.array([2**53, 2**53 + 1, 2**53], dtype=np.int64)}, "t")
+        out = session.spark.query(
+            "SELECT DISTINCT k FROM t ORDER BY k").run(toPandas=True)
+        # Seed stacked keys through float64 (2^53 == 2^53+1): one row.
+        assert out["k"].tolist() == [2**53, 2**53 + 1]
+
+    def test_multi_column_distinct_matches_reference(self):
+        rng = np.random.default_rng(11)
+        session = Session()
+        a = rng.integers(0, 4, size=60)
+        s = np.array(["x", "y", "z"], dtype=object)[rng.integers(0, 3, size=60)]
+        session.sql.register_dict({"a": a, "s": s}, "t")
+        out = session.spark.query(
+            "SELECT DISTINCT a, s FROM t ORDER BY a, s").run(toPandas=True)
+        want = sorted(set(zip(a.tolist(), s.tolist())))
+        assert list(zip(out["a"].tolist(), out["s"].tolist())) == want

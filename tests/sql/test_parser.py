@@ -193,3 +193,45 @@ class TestPaperListings:
         )
         assert stmt.limit == 2
         assert stmt.order_by[0].ascending is False
+
+
+class TestVectorIndexDdl:
+    def test_create_vector_index(self):
+        stmt = parse("CREATE VECTOR INDEX idx ON Attachments(images) "
+                     "WITH (cells=32, nprobe=4)")
+        assert isinstance(stmt, nodes.CreateVectorIndexStmt)
+        assert stmt.name == "idx"
+        assert stmt.table == "Attachments"
+        assert stmt.column == "images"
+        assert stmt.options == {"cells": 32, "nprobe": 4}
+
+    def test_create_without_options(self):
+        stmt = parse("CREATE VECTOR INDEX idx ON t(c);")
+        assert stmt.options == {}
+
+    def test_create_requires_vector_kind(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE INDEX idx ON t(c)")
+
+    def test_drop_index(self):
+        stmt = parse("DROP INDEX idx")
+        assert isinstance(stmt, nodes.DropIndexStmt)
+        assert stmt.name == "idx" and not stmt.if_exists
+        assert parse("DROP INDEX IF EXISTS idx").if_exists
+
+    def test_show_indexes(self):
+        assert isinstance(parse("SHOW INDEXES"), nodes.ShowIndexesStmt)
+
+    def test_option_values_must_be_literals(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("CREATE VECTOR INDEX idx ON t(c) WITH (cells=x)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("DROP INDEX idx extra")
+
+    def test_ddl_words_stay_valid_identifiers(self):
+        # DDL words are soft keywords: schemas using them keep parsing.
+        stmt = parse("SELECT index, with, show FROM create WHERE exists > 2")
+        assert [i.expr.name for i in stmt.items] == ["index", "with", "show"]
+        assert stmt.from_clause.name == "create"

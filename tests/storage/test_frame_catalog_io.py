@@ -97,6 +97,36 @@ class TestIO:
         with pytest.raises(TdpError):
             read_csv("/no/such/file.csv")
 
+    def test_csv_empty_fields_are_nulls(self, tmp_path):
+        # Seed raised ValueError on int('') for any missing field.
+        path = str(tmp_path / "gaps.csv")
+        with open(path, "w") as f:
+            f.write("i,x,s,blank\n1,,left,\n,2.5,,\n3,9.5,right,\n")
+        back = read_csv(path)
+        # Int column with a hole becomes float64 with NaN (int64 has no
+        # NULL; float64 keeps values exact to 2^53, unlike float32).
+        assert back["i"].dtype == np.float64
+        assert back["i"][0] == 1.0 and np.isnan(back["i"][1])
+        assert np.isnan(back["x"][0]) and back["x"][1] == 2.5
+        # String columns keep empty strings; all-empty columns are all-NaN.
+        assert back["s"].tolist() == ["left", "", "right"]
+        assert np.isnan(back["blank"]).all()
+
+    def test_csv_nullable_int_column_keeps_large_values_exact(self, tmp_path):
+        path = str(tmp_path / "big.csv")
+        with open(path, "w") as f:
+            f.write(f"id\n{2**24 + 1}\n\n{2**40 + 3}\n")
+        back = read_csv(path)
+        assert back["id"][0] == 2**24 + 1      # float32 would give 2^24
+        assert np.isnan(back["id"][1])
+        assert back["id"][2] == 2**40 + 3
+
+    def test_csv_intact_int_column_stays_int(self, tmp_path):
+        path = str(tmp_path / "ints.csv")
+        with open(path, "w") as f:
+            f.write("i\n1\n2\n3\n")
+        assert read_csv(path)["i"].dtype == np.int64
+
     def test_table_npz_roundtrip(self, tmp_path):
         table = Table.from_dict("t", {"a": [1, 2], "s": ["aa", "bb"]})
         path = str(tmp_path / "table.npz")
