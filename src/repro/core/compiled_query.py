@@ -8,6 +8,7 @@ our TCR, so ``parameters()``, ``train()/eval()`` and backprop all work on it.
 
 from __future__ import annotations
 
+import contextlib
 from typing import List, Optional
 
 import numpy as np
@@ -80,7 +81,8 @@ class CompiledQuery(Module):
     """The artifact returned by ``tdp.sql.spark.query`` (paper Listing 2)."""
 
     def __init__(self, root: ExecNode, config: QueryConfig, device, sql_text: str,
-                 plan_text: str, output_schema, aggregate_outputs: List[int]):
+                 plan_text: str, output_schema, aggregate_outputs: List[int],
+                 tensor_cache=None):
         super().__init__()
         self.root = root
         self.config = config
@@ -89,6 +91,7 @@ class CompiledQuery(Module):
         self.plan_text = plan_text
         self.output_schema = output_schema
         self.aggregate_outputs = aggregate_outputs
+        self.tensor_cache = tensor_cache
         # Trainable queries start in training mode (soft operators active);
         # everything else starts deployed/eval (exact operators).
         self.train(config.trainable)
@@ -111,13 +114,26 @@ class CompiledQuery(Module):
         if self.training and self.config.trainable:
             relation = self.forward()
         else:
-            with no_grad():
+            with no_grad(), self._materialization_scope():
                 relation = self.forward()
         if toPandas:
             return relation.table.to_frame()
         if self.config.trainable and self.training:
             return self._trainable_output(relation)
         return QueryResult(relation.table)
+
+    def _materialization_scope(self):
+        """Activate the session's tensor cache for this run.
+
+        Trainable compilations never use it (they own parameters whose state
+        changes between runs), and the per-query ``tensor_cache`` flag or a
+        zero session budget turns it off.
+        """
+        cache = self.tensor_cache
+        if (cache is None or cache.max_bytes <= 0 or self.config.trainable
+                or not self.config.tensor_cache):
+            return contextlib.nullcontext()
+        return cache.activate()
 
     def run_many(self, others=(), toPandas: bool = False) -> list:
         """Run this query plus ``others`` against shared scans.

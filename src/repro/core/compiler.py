@@ -42,11 +42,13 @@ from repro.tcr.device import Device, as_device
 
 
 class Compiler:
-    def __init__(self, catalog, config: QueryConfig, device, indexes=None):
+    def __init__(self, catalog, config: QueryConfig, device, indexes=None,
+                 tensor_cache=None):
         self.catalog = catalog
         self.config = config
         self.device = as_device(device)
         self.indexes = indexes          # the session's IndexManager (or None)
+        self.tensor_cache = tensor_cache  # the session's TensorCache (or None)
 
     def compile(self, plan: logical.LogicalPlan, sql_text: str) -> CompiledQuery:
         root = self._lower(plan)
@@ -59,6 +61,7 @@ class Compiler:
             plan_text=plan.pretty(),
             output_schema=plan.schema,
             aggregate_outputs=aggregate_outputs,
+            tensor_cache=self.tensor_cache,
         )
 
     # ------------------------------------------------------------------
@@ -119,7 +122,9 @@ class Compiler:
             if self.indexes is None:
                 raise PlanError("TopKSimilarity requires a session IndexManager")
             child = self._lower(plan.input)
-            return ExecNode(IndexScanExec(self.indexes, plan), [child])
+            op = IndexScanExec(self.indexes, plan, nprobe=self.config.nprobe,
+                               use_tensor_cache=self.config.tensor_cache)
+            return ExecNode(op, [child])
 
         if isinstance(plan, (logical.CreateIndex, logical.DropIndex,
                              logical.ShowIndexes)):

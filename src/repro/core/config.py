@@ -21,6 +21,9 @@ class constants:
     # Execution-speed subsystem.
     PLAN_CACHE = "plan_cache"              # reuse compiled plans across calls
     FUSE_OPERATORS = "fuse_operators"      # collapse Filter/Project pipelines
+    TENSOR_CACHE = "tensor_cache"          # reuse UDF/embedding materializations
+    # Vector-index subsystem.
+    NPROBE = "nprobe"                      # per-query IVF probe-width hint
 
 
 _DEFAULTS = {
@@ -33,6 +36,8 @@ _DEFAULTS = {
     constants.SOFT_TEMPERATURE: 25.0,
     constants.PLAN_CACHE: True,
     constants.FUSE_OPERATORS: True,
+    constants.TENSOR_CACHE: True,
+    constants.NPROBE: None,
 }
 
 
@@ -88,6 +93,21 @@ class QueryConfig:
     @property
     def fuse_operators(self) -> bool:
         return bool(self._values[constants.FUSE_OPERATORS])
+
+    @property
+    def tensor_cache(self) -> bool:
+        return bool(self._values[constants.TENSOR_CACHE])
+
+    @property
+    def nprobe(self) -> Optional[int]:
+        value = self._values[constants.NPROBE]
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"nprobe must be an integer, got {value!r}")
+        if value < 1:
+            raise ValueError(f"nprobe must be >= 1, got {value}")
+        return value
 
     def fingerprint(self) -> tuple:
         """Hashable digest of every flag, for plan-cache keys."""

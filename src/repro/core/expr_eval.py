@@ -9,11 +9,13 @@ integer codes without decoding.
 from __future__ import annotations
 
 import dataclasses
+import functools
 import re
 from typing import List, Optional, Union
 
 import numpy as np
 
+from repro.core import tensor_cache as tc
 from repro.errors import ExecutionError
 from repro.sql import bound as b
 from repro.storage import types as dt
@@ -55,21 +57,35 @@ _COMPARE_OPS = {
 
 
 class ExpressionEvaluator:
-    """Evaluates bound expressions against one input table."""
+    """Evaluates bound expressions against one input table.
+
+    A per-pass structural-hash memo gives common-subexpression elimination:
+    fused SELECT/WHERE/ORDER BY lists sharing one evaluator compute each
+    deterministic subtree (especially UDF calls) exactly once.
+    """
 
     def __init__(self, table: Table):
         self.table = table
         self.num_rows = table.num_rows
         self.device = table.device
+        self._memo: dict = {}
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def evaluate(self, expr: b.BoundExpr) -> Value:
+        key = _structural_key(expr)
+        if key is not None:
+            cached = self._memo.get(key)
+            if cached is not None:
+                return cached
         method = getattr(self, f"_eval_{type(expr).__name__}", None)
         if method is None:
             raise ExecutionError(f"cannot evaluate {type(expr).__name__}")
-        return method(expr)
+        value = method(expr)
+        if key is not None:
+            self._memo[key] = value
+        return value
 
     def evaluate_column(self, expr: b.BoundExpr, name: str = "") -> Column:
         value = self.evaluate(expr)
@@ -153,22 +169,59 @@ class ExpressionEvaluator:
         return self._plain(ops.neg(self._numeric_tensor(operand)))
 
     def _eval_BCall(self, expr: b.BCall) -> Value:
+        udf = expr.udf
+        values = [self.evaluate(arg) for arg in expr.args]
         args = []
-        for arg in expr.args:
-            value = self.evaluate(arg)
+        for value in values:
             if isinstance(value, Scalar):
                 args.append(value.value)
-            elif expr.udf.encoded_io or not isinstance(value.encoding, PlainEncoding):
+            elif udf.encoded_io or not isinstance(value.encoding, PlainEncoding):
                 args.append(value.encoded)
             else:
                 args.append(value.tensor)
-        columns = _invoke_batched(expr.udf, args, self.num_rows, self.device)
+
+        # Materialization cache: deterministic UDFs outside grad recording
+        # consult the session cache. A full hit skips inference entirely; a
+        # subset (post-filter) evaluation gathers from a cached full-column
+        # entry; a miss computes and inserts.
+        cache = tc.active()
+        use_cache = (cache is not None
+                     and getattr(udf, "deterministic", True)
+                     and not _udf_needs_grad(udf)
+                     # Modules left in train() mode may be stochastic
+                     # (dropout): never cache their outputs.
+                     and not any(getattr(m, "training", False)
+                                 for m in udf.modules))
+        key = None
+        tags = ()
+        if use_cache:
+            key, full_key, rows, tags = _bcall_cache_plan(udf, values, args,
+                                                          self, cache)
+            if key is not None:
+                cached = cache.udf_get(key, full_key, rows)
+                if cached is not None:
+                    return cached[0]
+                # Tag the argument tensors so encoder memos inside the UDF
+                # (model.encode_image) can capture/reuse embeddings. Tags
+                # are removed after the invocation: they must never leak
+                # into a later call that did not opt into caching (e.g. a
+                # deterministic=False UDF sharing the same model).
+                for tensor, tag in tags:
+                    tc.tag_tensor(tensor, tag)
+
+        try:
+            columns = _invoke_batched(udf, args, self.num_rows, self.device)
+        finally:
+            for tensor, _ in tags:
+                tc.untag_tensor(tensor)
         column = columns[0]
         if column.num_rows != self.num_rows:
             raise ExecutionError(
-                f"UDF {expr.udf.name!r} returned {column.num_rows} rows for "
+                f"UDF {udf.name!r} returned {column.num_rows} rows for "
                 f"{self.num_rows} input rows"
             )
+        if use_cache and key is not None:
+            cache.udf_put(key, columns)
         return column
 
     def _eval_BBuiltin(self, expr: b.BBuiltin) -> Value:
@@ -436,6 +489,7 @@ def _cast_scalar(value, target: dt.DataType):
     return str(value)
 
 
+@functools.lru_cache(maxsize=256)
 def _like_to_regex(pattern: str) -> "re.Pattern":
     out = []
     for ch in pattern:
@@ -446,6 +500,135 @@ def _like_to_regex(pattern: str) -> "re.Pattern":
         else:
             out.append(re.escape(ch))
     return re.compile("".join(out))
+
+
+# ----------------------------------------------------------------------
+# CSE structural keys
+# ----------------------------------------------------------------------
+def _structural_key(expr: b.BoundExpr) -> Optional[tuple]:
+    """Hashable structural identity of a bound expression, or None when the
+    subtree must not be shared (non-deterministic UDF, unhashable literal)."""
+    t = type(expr)
+    if t is b.BColumn:
+        return ("c", expr.index)
+    if t is b.BLiteral:
+        v = expr.value
+        if isinstance(v, (str, int, float, bool, type(None))):
+            return ("l", type(v).__name__, v)
+        return None
+    if t is b.BBinary:
+        left = _structural_key(expr.left)
+        right = _structural_key(expr.right)
+        if left is None or right is None:
+            return None
+        return ("b", expr.op, left, right)
+    if t is b.BUnary:
+        operand = _structural_key(expr.operand)
+        return None if operand is None else ("n", expr.op, operand)
+    if t is b.BCall:
+        if not getattr(expr.udf, "deterministic", True):
+            return None
+        parts = tuple(_structural_key(a) for a in expr.args)
+        if any(p is None for p in parts):
+            return None
+        return ("u", expr.udf.name.lower(), getattr(expr.udf, "version", 0), parts)
+    if t is b.BBuiltin:
+        parts = tuple(_structural_key(a) for a in expr.args)
+        if any(p is None for p in parts):
+            return None
+        return ("f", expr.name, parts)
+    if t is b.BBetween:
+        keys = tuple(_structural_key(e) for e in (expr.operand, expr.low, expr.high))
+        if any(k is None for k in keys):
+            return None
+        return ("btw", expr.negated, keys)
+    if t is b.BIn:
+        operand = _structural_key(expr.operand)
+        if operand is None:
+            return None
+        try:
+            values = tuple(expr.values)
+            hash(values)
+        except TypeError:
+            return None
+        return ("in", operand, values, expr.negated)
+    if t is b.BLike:
+        operand = _structural_key(expr.operand)
+        return None if operand is None else ("like", operand, expr.pattern, expr.negated)
+    if t is b.BIsNull:
+        operand = _structural_key(expr.operand)
+        return None if operand is None else ("null", operand, expr.negated)
+    if t is b.BCase:
+        parts = []
+        for cond, value in expr.whens:
+            ck, vk = _structural_key(cond), _structural_key(value)
+            if ck is None or vk is None:
+                return None
+            parts.append((ck, vk))
+        else_key = None
+        if expr.else_ is not None:
+            else_key = _structural_key(expr.else_)
+            if else_key is None:
+                return None
+        return ("case", tuple(parts), else_key)
+    if t is b.BCast:
+        operand = _structural_key(expr.operand)
+        return None if operand is None else ("cast", operand, repr(expr.data_type))
+    return None
+
+
+# ----------------------------------------------------------------------
+# Materialization-cache keying for UDF calls
+# ----------------------------------------------------------------------
+def _udf_needs_grad(udf) -> bool:
+    from repro.tcr.autograd import is_grad_enabled
+    return is_grad_enabled() and any(p.requires_grad for p in udf.parameters())
+
+
+def _bcall_cache_plan(udf, values, args, evaluator, cache):
+    """Build cache keys for one UDF call.
+
+    Returns ``(key, full_key, rows, tags)``: the exact entry key; the
+    full-column key usable for a row gather (when every column argument is
+    the same row subset of its base column); the subset row indices; and
+    ``(tensor, tag)`` pairs to attach before invoking the UDF. ``key`` is
+    None when an argument has no stable content identity.
+    """
+    state_fp = cache.udf_state_fp(udf)
+    head = ("udf", udf.name.lower(), getattr(udf, "version", 0), state_fp,
+            str(evaluator.device))
+    parts, full_parts, tags = [head], [head], []
+    rows = None
+    rows_fps = set()
+    any_column = False
+    for value, arg in zip(values, args):
+        if isinstance(value, Scalar):
+            v = value.value
+            try:
+                hash(v)
+            except TypeError:
+                return None, None, None, ()
+            parts.append(("s", v))
+            full_parts.append(("s", v))
+            continue
+        tag = tc.column_tag(value)
+        if tag is None:
+            return None, None, None, ()
+        any_column = True
+        rows_fps.add(tag.rows_fp)
+        if tag.rows_fp is not None:
+            rows = tag.rows
+        parts.append(("col", tag.base, tag.rows_fp))
+        full_parts.append(("col", tag.base, None))
+        tensor = arg.tensor if isinstance(arg, EncodedTensor) else arg
+        tags.append((tensor, tag))
+    if not any_column:
+        # Pure scalar broadcast: the output length is the only data identity.
+        parts.append(("nrows", evaluator.num_rows))
+    key = tuple(parts)
+    subset = (any_column and rows is not None and len(rows_fps) == 1)
+    full_key = tuple(full_parts) if subset else None
+    return key, full_key, (rows if subset else None), tags
 
 
 def _invoke_batched(udf, args: List[object], num_rows: int, device) -> List[Column]:
@@ -471,9 +654,13 @@ def _invoke_batched(udf, args: List[object], num_rows: int, device) -> List[Colu
         chunk_args = []
         for arg in args:
             if isinstance(arg, Tensor) and arg.ndim >= 1 and arg.shape[0] == num_rows:
-                chunk_args.append(arg[start:stop])
+                chunk = arg[start:stop]
+                _tag_slice(arg, chunk, start, stop)
+                chunk_args.append(chunk)
             elif isinstance(arg, EncodedTensor) and arg.num_rows == num_rows:
-                chunk_args.append(EncodedTensor(arg.tensor[start:stop], arg.encoding))
+                chunk = arg.tensor[start:stop]
+                _tag_slice(arg.tensor, chunk, start, stop)
+                chunk_args.append(EncodedTensor(chunk, arg.encoding))
             else:
                 chunk_args.append(arg)
         batched_results.append(udf.invoke(chunk_args))
@@ -484,6 +671,14 @@ def _invoke_batched(udf, args: List[object], num_rows: int, device) -> List[Colu
         tensor = ops.cat([p.tensor for p in pieces], dim=0)
         stitched.append(Column(pieces[0].name, EncodedTensor(tensor, pieces[0].encoding)))
     return _rehome(stitched, device)
+
+
+def _tag_slice(parent: Tensor, chunk: Tensor, start: int, stop: int) -> None:
+    """Propagate content identity onto a micro-batch slice, so encoder memos
+    inside the UDF can capture/reuse per-slice embeddings."""
+    tag = getattr(parent, "_cache_tag", None)
+    if tag is not None:
+        tc.tag_tensor(chunk, tc.slice_tag(tag, start, stop))
 
 
 def _rehome(columns: List[Column], device) -> List[Column]:

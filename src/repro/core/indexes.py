@@ -95,8 +95,9 @@ class IndexManager:
     plan compiled before it (an index changes which physical plan is best).
     """
 
-    def __init__(self, catalog):
+    def __init__(self, catalog, tensor_cache=None):
         self.catalog = catalog
+        self.tensor_cache = tensor_cache  # the session's TensorCache (or None)
         self._entries: Dict[str, IndexEntry] = {}
         self.epoch = 0
 
@@ -194,7 +195,8 @@ class IndexManager:
             return "orphaned"
         return "ready" if current is entry.built_table else "stale"
 
-    def ensure_built(self, entry: IndexEntry, udf=None) -> IVFFlatIndex:
+    def ensure_built(self, entry: IndexEntry, udf=None,
+                     use_tensor_cache: bool = True) -> IVFFlatIndex:
         """Return a fresh index for the entry, (re)building if needed.
 
         Model binding is first-wins: the first similarity UDF to probe the
@@ -227,7 +229,8 @@ class IndexManager:
             entry.metric = metric
             entry.udf_name = getattr(udf, "name", None)
         column = current.column(entry.column)
-        vectors = self._embed_corpus(entry, column, model)
+        vectors = self._embed_corpus(entry, column, model,
+                                     use_tensor_cache=use_tensor_cache)
         if entry.metric == "cosine":
             # IVF cells score by raw inner product; normalising corpus and
             # query vectors makes that ranking equal cosine ranking.
@@ -237,13 +240,18 @@ class IndexManager:
         entry.build_count += 1
         return entry.index
 
-    def _embed_corpus(self, entry: IndexEntry, column, model) -> np.ndarray:
+    def _embed_corpus(self, entry: IndexEntry, column, model,
+                      use_tensor_cache: bool = True) -> np.ndarray:
         if entry.embedder is not None:
             vectors = entry.embedder(column.tensor)
             vectors = vectors.detach().data if hasattr(vectors, "detach") else vectors
             return np.asarray(vectors, dtype=np.float32)
         model = model or entry.model
         if model is not None:
+            cached = (self._cached_model_embeddings(column, model)
+                      if use_tensor_cache else None)
+            if cached is not None:
+                return cached
             with no_grad():
                 return model.encode_image(column.tensor).detach().data
         data = column.tensor.detach().data
@@ -254,6 +262,36 @@ class IndexManager:
             f"{entry.table}.{entry.column}: pass embedder= at creation or "
             f"query it through a two-tower similarity UDF first"
         )
+
+    def _cached_model_embeddings(self, column, model) -> Optional[np.ndarray]:
+        """Read/populate the session materialization cache for a corpus encode.
+
+        Query-time similarity UDFs and index builds meet here: a build after
+        an (accelerable) query reuses the embeddings the query's encoder memo
+        captured — assembled from micro-batch slices if need be — and a query
+        after a build reuses the build's full-corpus entry. Models left in
+        training mode never share (their outputs may be stochastic).
+        """
+        from repro.core import tensor_cache as tc
+        cache = self.tensor_cache
+        if cache is None or cache.max_bytes <= 0 or getattr(model, "training", False):
+            return None
+        tag = tc.column_tag(column)
+        if tag is None:
+            return None
+        token = tc.identity_token(model)
+        if token is None:
+            return None
+        fp = cache.model_state_fp(model)
+        device = str(column.tensor.device)
+        hit = cache.encoded_get(token, fp, tag, column.num_rows, device)
+        if hit is None:
+            orig = getattr(model.encode_image, "__tdp_encoder_orig__", None)
+            encode = orig if orig is not None else model.encode_image
+            with no_grad():
+                hit = encode(column.tensor).detach()
+            cache.encoded_put(token, fp, tag, device, hit)
+        return np.asarray(hit.data)
 
     def embed_query(self, entry: IndexEntry, text: str) -> np.ndarray:
         """Embed a text query with the model the corpus was embedded by."""

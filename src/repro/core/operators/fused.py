@@ -91,6 +91,7 @@ class _GatherEvaluator(ExpressionEvaluator):
         self.num_rows = len(indices)
         self.device = table.device
         self._gathered = {}
+        self._memo = {}
 
     def _eval_BColumn(self, expr: b.BColumn):
         column = self._gathered.get(expr.index)

@@ -44,9 +44,13 @@ class IndexScanExec(Operator):
     # multiple of k, and escalate to an exhaustive probe if too few survive.
     OVERFETCH = 4
 
-    def __init__(self, manager, plan):
+    def __init__(self, manager, plan, nprobe: Optional[int] = None,
+                 use_tensor_cache: bool = True):
         super().__init__()
         self.manager = manager
+        # extra_config={"tensor_cache": False} also covers the lazy build
+        # this operator may trigger (not just expression evaluation).
+        self.use_tensor_cache = use_tensor_cache
         self.index_name = plan.index_name
         self.query_text = plan.query_text
         self.sim_expr = plan.sim_expr
@@ -55,6 +59,9 @@ class IndexScanExec(Operator):
         self.residual = plan.residual
         self.k = plan.k
         self.offset = plan.offset
+        # Per-query probe-width hint (extra_config={"nprobe": N}); None
+        # falls back to the index's default.
+        self.nprobe_hint = nprobe
         self._register_expr_udfs(
             self.exprs + [self.sim_expr]
             + ([self.residual] if self.residual else []))
@@ -69,23 +76,25 @@ class IndexScanExec(Operator):
         if entry is None or udf is None or not self.manager.supports(entry, udf):
             return self._exact(relation)
         try:
-            index = self.manager.ensure_built(entry, udf)
+            index = self.manager.ensure_built(
+                entry, udf, use_tensor_cache=self.use_tensor_cache)
             query_vec = self.manager.embed_query(entry, self.query_text)
         except (CatalogError, ExecutionError):
             return self._exact(relation)
 
         n = relation.num_rows
         want = self.k + self.offset
+        nprobe = min(self.nprobe_hint or entry.nprobe, index.num_lists)
         if self.residual is None:
-            ids, _ = index.search(query_vec, want, nprobe=entry.nprobe)
+            ids, _ = index.search(query_vec, want, nprobe=nprobe)
             if len(ids) < min(want, n):
                 # Probed cells were too sparse: escalate to a full probe.
                 ids, _ = index.search(query_vec, want, nprobe=index.num_lists)
         else:
             fetch = min(n, max(self.OVERFETCH * want, want + 16))
-            ids, _ = index.search(query_vec, fetch, nprobe=entry.nprobe)
+            ids, _ = index.search(query_vec, fetch, nprobe=nprobe)
             ids = self._apply_residual(relation, ids)
-            if len(ids) < want and (fetch < n or entry.nprobe < index.num_lists):
+            if len(ids) < want and (fetch < n or nprobe < index.num_lists):
                 # Escalate: probe every cell and rescue the exact answer.
                 ids, _ = index.search(query_vec, n, nprobe=index.num_lists)
                 ids = self._apply_residual(relation, ids)
@@ -109,8 +118,11 @@ class IndexScanExec(Operator):
         return ProjectExec(self.exprs, self.names)(top)
 
     def describe(self) -> str:
-        entry = self.manager.lookup(self.index_name)
-        nprobe = entry.nprobe if entry is not None else "?"
+        if self.nprobe_hint is not None:
+            nprobe = f"{self.nprobe_hint} (hint)"
+        else:
+            entry = self.manager.lookup(self.index_name)
+            nprobe = entry.nprobe if entry is not None else "?"
         residual = f", residual={self.residual}" if self.residual is not None else ""
         return (f"IndexScan({self.index_name}, q={self.query_text!r}, "
                 f"k={self.k}, nprobe={nprobe}{residual})")

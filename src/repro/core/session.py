@@ -20,6 +20,7 @@ from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig, constants
 from repro.core.indexes import IndexEntry, IndexManager
 from repro.core.operators.scan import shared_scans
+from repro.core.tensor_cache import DEFAULT_TENSOR_CACHE_BYTES, TensorCache
 from repro.core.udf import FunctionRegistry, make_udf_decorator
 from repro.sql.binder import Binder
 from repro.sql.optimizer import optimize
@@ -148,13 +149,22 @@ _DDL_PREFIX = re.compile(r"^\s*(create|drop|show)\b", re.IGNORECASE)
 
 
 class Session:
-    """One TDP instance: a catalog, a UDF registry, vector indexes, and
-    query compilation."""
+    """One TDP instance: a catalog, a UDF registry, vector indexes, a
+    materialization cache, and query compilation.
 
-    def __init__(self, plan_cache_size: int = 128):
+    ``tensor_cache_bytes`` budgets the session-wide inference cache
+    (``session.tensor_cache``): deterministic UDF outputs and corpus
+    embeddings are reused across statements and index builds. Pass 0 to
+    disable it for the whole session (per query: ``extra_config=
+    {"tensor_cache": False}``).
+    """
+
+    def __init__(self, plan_cache_size: int = 128,
+                 tensor_cache_bytes: int = DEFAULT_TENSOR_CACHE_BYTES):
         self.catalog = Catalog()
         self.functions = FunctionRegistry()
-        self.indexes = IndexManager(self.catalog)
+        self.tensor_cache = TensorCache(tensor_cache_bytes)
+        self.indexes = IndexManager(self.catalog, tensor_cache=self.tensor_cache)
         self.sql = SqlNamespace(self)
         self.spark = self.sql.spark
         self.constants = constants
@@ -198,7 +208,8 @@ class Session:
             # compilations keep the exact differentiable pipeline.
             opt_config["indexes"] = self.indexes
         plan = optimize(plan, opt_config)
-        compiler = Compiler(self.catalog, config, device, indexes=self.indexes)
+        compiler = Compiler(self.catalog, config, device, indexes=self.indexes,
+                            tensor_cache=self.tensor_cache)
         return compiler.compile(plan, statement)
 
     # ------------------------------------------------------------------
@@ -241,3 +252,4 @@ class Session:
         self.functions.clear()
         self.indexes.clear()
         self.plan_cache.clear()
+        self.tensor_cache.clear()

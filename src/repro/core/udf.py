@@ -89,6 +89,14 @@ class UdfInfo:
     # Only declared UDFs are eligible for vector-index acceleration — the
     # optimizer cannot infer monotonicity from an arbitrary function body.
     ann_metric: Optional[str] = None
+    # Deterministic (parameter-frozen) UDFs may serve repeated evaluations
+    # from the session's materialization cache; grad-enabled invocations
+    # always bypass it regardless. Declare deterministic=False for functions
+    # whose output depends on more than (inputs, module parameters).
+    deterministic: bool = True
+    # Registration stamp (set by FunctionRegistry.register): cache keys carry
+    # it so re-registering a name can never hit entries of the old function.
+    version: int = 0
 
     @property
     def is_table_valued(self) -> bool:
@@ -140,6 +148,15 @@ class FunctionRegistry:
             raise UdfError(f"function {info.name!r} already registered")
         self._functions[key] = info
         self.version += 1
+        info.version = self.version
+        if info.deterministic:
+            # Two-tower models behind deterministic UDFs get a cache-aware
+            # encode_image memo, so query-time evaluation and index builds
+            # share corpus embeddings (see repro.core.tensor_cache).
+            from repro.core.tensor_cache import install_encoder_memo
+            for module in info.modules:
+                if hasattr(module, "encode_image"):
+                    install_encoder_memo(module)
 
     def lookup(self, name: str) -> Optional[UdfInfo]:
         return self._functions.get(name.lower())
@@ -157,7 +174,8 @@ def make_udf_decorator(registry: FunctionRegistry):
 
     def tdp_udf(schema_text: str, name: Optional[str] = None,
                 modules: Optional[Sequence[Module]] = None,
-                encoded_io: bool = False, ann: Optional[str] = None):
+                encoded_io: bool = False, ann: Optional[str] = None,
+                deterministic: bool = True):
         output_schema = parse_output_schema(schema_text)
         if ann is not None and ann not in ANN_METRICS:
             raise UdfError(
@@ -173,6 +191,7 @@ def make_udf_decorator(registry: FunctionRegistry):
                 modules=found,
                 encoded_io=encoded_io,
                 ann_metric=ann,
+                deterministic=deterministic,
             )
             registry.register(info)
             func.udf_info = info

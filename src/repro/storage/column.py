@@ -7,7 +7,8 @@ row), 3-d (grayscale images) and 4-d (RGB images) columns.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+import itertools
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -25,14 +26,44 @@ from repro.tcr import ops
 from repro.tcr.tensor import Tensor, ensure_tensor
 
 
+# Process-unique identity tokens: the engine's materialization cache keys on
+# "which stored tensor is this" rather than raw id() (which aliases after
+# garbage collection). Tokens are assigned lazily on first use and live on
+# the object itself, so a token is never reused for different data.
+_IDENTITY_COUNTER = itertools.count(1)
+
+
+def identity_token(obj) -> Optional[int]:
+    """Get-or-assign a process-unique identity token on ``obj``.
+
+    Returns None for objects that cannot carry attributes.
+    """
+    token = getattr(obj, "_cache_token", None)
+    if token is None:
+        token = next(_IDENTITY_COUNTER)
+        try:
+            obj._cache_token = token
+        except AttributeError:
+            return None
+    return token
+
+
 class Column:
-    """A named column stored as an :class:`EncodedTensor`."""
+    """A named column stored as an :class:`EncodedTensor`.
 
-    __slots__ = ("name", "encoded")
+    ``lineage`` records row provenance for the materialization cache: when a
+    column is a row gather of a stored base column it carries
+    ``(base identity token, row indices)`` — ``rows=None`` meaning "all rows
+    of that base". Columns whose carrier is freshly computed have no lineage.
+    """
 
-    def __init__(self, name: str, encoded: EncodedTensor):
+    __slots__ = ("name", "encoded", "lineage")
+
+    def __init__(self, name: str, encoded: EncodedTensor,
+                 lineage: Optional[Tuple[int, Optional[np.ndarray]]] = None):
         self.name = name
         self.encoded = encoded
+        self.lineage = lineage
 
     # ------------------------------------------------------------------
     # Construction
@@ -45,7 +76,7 @@ class Column:
         rank) → plain. Existing tensors/encoded tensors pass through.
         """
         if isinstance(values, Column):
-            return Column(name, values.encoded)
+            return Column(name, values.encoded, values.lineage)
         if isinstance(values, EncodedTensor):
             return Column(name, values.to(device) if device is not None else values)
         if isinstance(values, Tensor):
@@ -106,13 +137,29 @@ class Column:
         col = self.materialize()
         idx = indices.data if isinstance(indices, Tensor) else np.asarray(indices)
         gathered = ops.getitem(col.tensor, idx)
-        return Column(self.name, EncodedTensor(gathered, col.encoding))
+        lineage = None
+        if idx.ndim == 1 and idx.dtype.kind in "iu":
+            base = col.lineage
+            if base is None:
+                token = identity_token(col.tensor)
+                base = (token, None) if token is not None else None
+            if base is not None:
+                base_token, base_rows = base
+                rows = idx if base_rows is None else base_rows[idx]
+                lineage = (base_token, rows)
+        return Column(self.name, EncodedTensor(gathered, col.encoding), lineage)
 
     def rename(self, name: str) -> "Column":
-        return Column(name, self.encoded)
+        return Column(name, self.encoded, self.lineage)
 
     def to(self, device) -> "Column":
-        return Column(self.name, self.encoded.to(device))
+        # A device transfer keeps logical content: remember the source
+        # identity so per-device copies share cached materializations.
+        lineage = self.lineage
+        if lineage is None:
+            token = identity_token(self.tensor)
+            lineage = (token, None) if token is not None else None
+        return Column(self.name, self.encoded.to(device), lineage)
 
     def with_tensor(self, tensor: Tensor) -> "Column":
         """Replace the carrier tensor, keeping name and encoding."""

@@ -98,9 +98,14 @@ class DataFrame:
         return DataFrame({mapping.get(name, name): col for name, col in self._columns.items()})
 
     def sort_values(self, by: str, ascending: bool = True) -> "DataFrame":
-        order = np.argsort(self[by], kind="stable")
-        if not ascending:
-            order = order[::-1]
+        column = self[by]
+        if ascending:
+            order = np.argsort(column, kind="stable")
+        else:
+            # Reversing a stable ascending argsort would emit ties in
+            # reverse input order; stable-argsort the reversed array and map
+            # the positions back instead, keeping ties in input order.
+            order = (len(column) - 1 - np.argsort(column[::-1], kind="stable"))[::-1]
         return DataFrame({name: col[order] for name, col in self._columns.items()})
 
     def equals(self, other: "DataFrame", rtol: float = 1e-5, atol: float = 1e-6) -> bool:

@@ -28,7 +28,10 @@ class Tensor:
         device: placement tag (``cpu`` or simulated ``cuda``).
     """
 
-    __slots__ = ("data", "requires_grad", "grad", "device", "_parents", "_backward", "_op")
+    __slots__ = ("data", "requires_grad", "grad", "device", "_parents", "_backward", "_op",
+                 # Lazily-assigned content-identity metadata for the engine's
+                 # materialization cache (see repro.core.tensor_cache).
+                 "_cache_token", "_cache_tag")
 
     def __init__(self, data, requires_grad: bool = False, device=None, dtype=None):
         array = np.asarray(data)

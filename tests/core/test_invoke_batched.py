@@ -1,0 +1,144 @@
+"""Micro-batched UDF invocation (`expr_eval._invoke_batched`).
+
+Direct coverage of the device-profile batching engine: chunk stitching
+across ``exec_batch_rows`` boundaries, EncodedTensor argument slicing,
+scalar broadcast arguments, and the grad-enabled bypass.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.core.expr_eval import _invoke_batched
+from repro.core.udf import UdfInfo, parse_output_schema
+from repro.storage.column import Column
+from repro.storage.encodings import DictionaryEncoding, EncodedTensor
+from repro.tcr import nn
+from repro.tcr.autograd import no_grad
+from repro.tcr.device import as_device
+from repro.tcr.tensor import Tensor
+
+CPU = as_device("cpu")
+CUDA = as_device("cuda")
+
+
+def _info(func, schema="float", encoded_io=False, modules=None):
+    return UdfInfo("f", func, parse_output_schema(schema), modules or [],
+                   encoded_io=encoded_io)
+
+
+class TestChunkStitching:
+    def test_cpu_micro_batches_and_stitches_in_order(self):
+        calls = []
+
+        def f(x):
+            calls.append(x.shape[0])
+            return x + 1.0
+
+        data = np.arange(7, dtype=np.float32)
+        (col,) = _invoke_batched(_info(f), [Tensor(data)], 7, CPU)
+        assert calls == [1] * 7
+        np.testing.assert_allclose(col.tensor.data, data + 1.0)
+
+    def test_cuda_stitches_across_batch_boundary(self):
+        batch = CUDA.profile.exec_batch_rows
+        n = 2 * batch + 3
+        calls = []
+
+        def f(x):
+            calls.append(x.shape[0])
+            return x * 2.0
+
+        data = np.arange(n, dtype=np.float32)
+        (col,) = _invoke_batched(_info(f), [Tensor(data, device="cuda")], n, CUDA)
+        assert calls == [batch, batch, 3]
+        np.testing.assert_allclose(col.tensor.data, data * 2.0)
+        assert str(col.device) == "cuda:0"
+
+    def test_multi_column_outputs_stitch_per_column(self):
+        def f(x):
+            return x + 1.0, x - 1.0
+
+        data = np.arange(5, dtype=np.float32)
+        a, b = _invoke_batched(_info(f, "A float, B float"), [Tensor(data)], 5, CPU)
+        assert (a.name, b.name) == ("A", "B")
+        np.testing.assert_allclose(a.tensor.data, data + 1.0)
+        np.testing.assert_allclose(b.tensor.data, data - 1.0)
+
+
+class TestEncodedTensorArgs:
+    def test_encoded_chunks_keep_encoding_and_order(self):
+        column = Column.from_values("s", np.array(["b", "a", "c", "a", "b"]))
+        assert isinstance(column.encoding, DictionaryEncoding)
+        seen = []
+
+        def f(enc):
+            assert isinstance(enc, EncodedTensor)
+            assert isinstance(enc.encoding, DictionaryEncoding)
+            seen.append(enc.num_rows)
+            return enc.tensor
+
+        (col,) = _invoke_batched(_info(f, "int", encoded_io=True),
+                                 [column.encoded], 5, CPU)
+        assert seen == [1] * 5
+        np.testing.assert_array_equal(col.tensor.data,
+                                      column.tensor.data)
+
+
+class TestScalarBroadcastArgs:
+    def test_scalar_args_pass_to_every_chunk(self):
+        prefixes = []
+
+        def f(prefix, x):
+            prefixes.append(prefix)
+            return x + float(len(prefix))
+
+        data = np.arange(4, dtype=np.float32)
+        (col,) = _invoke_batched(_info(f), ["abc", Tensor(data)], 4, CPU)
+        assert prefixes == ["abc"] * 4
+        np.testing.assert_allclose(col.tensor.data, data + 3.0)
+
+    def test_short_tensor_args_are_not_sliced(self):
+        # A tensor whose leading dim != num_rows is a broadcast constant.
+        weights = Tensor(np.ones(2, dtype=np.float32))
+        shapes = []
+
+        def f(w, x):
+            shapes.append(w.shape[0])
+            return x * w.data[0]
+
+        data = np.arange(5, dtype=np.float32)
+        (col,) = _invoke_batched(_info(f), [weights, Tensor(data)], 5, CPU)
+        assert shapes == [2] * 5
+        np.testing.assert_allclose(col.tensor.data, data)
+
+
+class TestGradBypass:
+    def test_grad_enabled_runs_one_full_batch(self):
+        model = nn.Linear(1, 1)
+        calls = []
+
+        def f(x):
+            calls.append(x.shape[0])
+            return model(x.reshape(-1, 1)).reshape(-1)
+
+        data = np.arange(40, dtype=np.float32)
+        _invoke_batched(_info(f, modules=[model]), [Tensor(data)], 40, CPU)
+        assert calls == [40]                     # taping needs the whole batch
+
+    def test_no_grad_restores_micro_batching(self):
+        model = nn.Linear(1, 1)
+        calls = []
+
+        def f(x):
+            calls.append(x.shape[0])
+            return model(x.reshape(-1, 1)).reshape(-1)
+
+        data = np.arange(6, dtype=np.float32)
+        with no_grad():
+            (col,) = _invoke_batched(_info(f, modules=[model]),
+                                     [Tensor(data)], 6, CPU)
+        assert calls == [1] * 6
+        expected = (data.reshape(-1, 1) @ model.weight.data.T
+                    + model.bias.data).reshape(-1)
+        np.testing.assert_allclose(col.tensor.data, expected, rtol=1e-5)

@@ -1,0 +1,326 @@
+"""Inference-aware execution: the session tensor cache + expression CSE.
+
+Covers the materialization-cache acceptance contract: repeated statements
+skip inference, a UDF duplicated between SELECT and WHERE invokes its model
+exactly once (CSE + subset gather), index builds and similarity queries
+share corpus embeddings in both directions, and trainable / non-
+deterministic / mutated-weight paths never serve stale results.
+"""
+
+import numpy as np
+import pytest
+
+from repro import tcr
+from repro.core.session import Session
+from repro.core.tensor_cache import TensorCache, state_fingerprint
+from repro.tcr import nn, ops
+from repro.tcr.tensor import Tensor
+
+
+def _register_numbers(session, n=8, device="cpu"):
+    session.sql.register_dict(
+        {"k": np.arange(n, dtype=np.int64),
+         "x": np.arange(n, dtype=np.float32)}, "t", device=device)
+    return n
+
+
+def _counting_probe(session, factor=2.0):
+    calls = []
+
+    @session.udf("float", name="probe")
+    def probe(x):
+        calls.append(x.shape[0])
+        return x * factor
+
+    return calls
+
+
+class TestUdfOutputCache:
+    def test_repeated_statement_skips_inference(self, session):
+        n = _register_numbers(session)
+        calls = _counting_probe(session)
+        sql = "SELECT probe(x) AS y FROM t"
+        first = session.sql.query(sql).run(toPandas=True)
+        cold_calls = sum(calls)
+        assert cold_calls == n
+        second = session.sql.query(sql).run(toPandas=True)
+        assert sum(calls) == cold_calls          # no new model work
+        assert first["y"].tolist() == second["y"].tolist()
+        stats = session.tensor_cache.stats
+        assert stats["hits"] >= 1
+        assert stats["entries"] >= 1
+
+    def test_udf_duplicated_select_where_single_pass(self):
+        """The acceptance criterion: SELECT f(x) ... WHERE f(x) > c invokes
+        the model exactly once (cuda profile: one batched invocation)."""
+        session = Session()
+        n = _register_numbers(session, n=40, device="cuda")
+        calls = _counting_probe(session)
+        out = session.sql.query(
+            "SELECT probe(x) AS s FROM t WHERE probe(x) > 10",
+            device="cuda").run(toPandas=True)
+        assert calls == [n]                      # exactly one evaluation pass
+        expected = np.arange(n, dtype=np.float32) * 2.0
+        assert out["s"].tolist() == expected[expected > 10].tolist()
+
+    def test_cse_within_select_list_without_cache(self, session):
+        """Structural-hash CSE is per-pass and works with the cache off."""
+        n = _register_numbers(session, n=40, device="cuda")
+        calls = _counting_probe(session)
+        out = session.sql.query(
+            "SELECT probe(x) + 1 AS a, probe(x) * 2 AS b FROM t",
+            device="cuda",
+            extra_config={"tensor_cache": False}).run(toPandas=True)
+        assert calls == [n]                      # shared subtree, one invoke
+        np.testing.assert_allclose(out["a"], np.arange(n) * 2.0 + 1)
+        np.testing.assert_allclose(out["b"], np.arange(n) * 4.0)
+
+    def test_subset_after_filter_gathers_from_full_entry(self, session):
+        n = _register_numbers(session)
+        calls = _counting_probe(session)
+        full = session.sql.query("SELECT probe(x) AS s FROM t").run(toPandas=True)
+        assert sum(calls) == n
+        filtered = session.sql.query(
+            "SELECT probe(x) AS s FROM t WHERE k < 3").run(toPandas=True)
+        assert sum(calls) == n                   # gathered, not recomputed
+        assert filtered["s"].tolist() == full["s"].tolist()[:3]
+        assert session.tensor_cache.stats["gather_hits"] >= 1
+
+    def test_config_flag_disables_cache(self, session):
+        n = _register_numbers(session)
+        calls = _counting_probe(session)
+        config = {"tensor_cache": False}
+        session.sql.query("SELECT probe(x) AS y FROM t", extra_config=config).run()
+        session.sql.query("SELECT probe(x) AS y FROM t", extra_config=config).run()
+        assert sum(calls) == 2 * n
+
+    def test_zero_budget_session_disables_cache(self):
+        session = Session(tensor_cache_bytes=0)
+        n = _register_numbers(session)
+        calls = _counting_probe(session)
+        session.sql.query("SELECT probe(x) AS y FROM t").run()
+        session.sql.query("SELECT probe(x) AS y FROM t").run()
+        assert sum(calls) == 2 * n
+        assert len(session.tensor_cache) == 0
+
+
+class TestCacheBypasses:
+    def test_nondeterministic_udf_never_cached(self, session):
+        _register_numbers(session, n=4, device="cuda")
+        counter = [0.0]
+
+        @session.udf("float", name="rnd", deterministic=False)
+        def rnd(x):
+            counter[0] += 1.0
+            return x * 0 + counter[0]
+
+        sql = "SELECT rnd(x) AS a, rnd(x) AS b FROM t"
+        out = session.sql.query(sql, device="cuda").run(toPandas=True)
+        # No CSE between the two references, and no cross-statement reuse.
+        assert out["a"][0] != out["b"][0]
+        out2 = session.sql.query(sql, device="cuda").run(toPandas=True)
+        assert out2["a"][0] not in (out["a"][0], out["b"][0])
+        assert session.tensor_cache.stats["hits"] == 0
+
+    def test_trainable_queries_never_touch_cache(self, session):
+        _register_numbers(session, n=8)
+        model = nn.Linear(1, 1)
+        calls = []
+
+        @session.udf("float", name="scored", modules=[model])
+        def scored(x):
+            calls.append(x.shape[0])
+            return model(x.reshape(-1, 1)).reshape(-1)
+
+        query = session.sql.query("SELECT scored(x) AS y FROM t",
+                                  extra_config={"trainable": True})
+        query.run()
+        query.run()
+        assert sum(calls) == 16                  # both runs computed
+        assert len(session.tensor_cache) == 0
+
+    def test_in_place_weight_mutation_invalidates(self, session):
+        _register_numbers(session, n=6)
+        model = nn.Linear(1, 1)
+
+        @session.udf("float", name="scored", modules=[model])
+        def scored(x):
+            return model(x.reshape(-1, 1)).reshape(-1)
+
+        sql = "SELECT scored(x) AS y FROM t"
+        before = session.sql.query(sql).run(toPandas=True)
+        again = session.sql.query(sql).run(toPandas=True)
+        assert before["y"].tolist() == again["y"].tolist()
+        model.weight.data = model.weight.data * 2.0 + 1.0
+        after = session.sql.query(sql).run(toPandas=True)
+        expected = (np.arange(6, dtype=np.float32).reshape(-1, 1)
+                    @ model.weight.data.T + model.bias.data).reshape(-1)
+        np.testing.assert_allclose(after["y"], expected, rtol=1e-5)
+        assert before["y"].tolist() != after["y"].tolist()
+
+
+class TestInvalidation:
+    def test_table_reregistration_invalidates(self, session):
+        _register_numbers(session, n=4)
+        _counting_probe(session)
+        sql = "SELECT probe(x) AS y FROM t"
+        first = session.sql.query(sql).run(toPandas=True)
+        session.sql.register_dict(
+            {"k": np.arange(4, dtype=np.int64),
+             "x": np.arange(4, dtype=np.float32) + 100}, "t")
+        second = session.sql.query(sql).run(toPandas=True)
+        np.testing.assert_allclose(second["y"], (np.arange(4) + 100) * 2.0)
+        assert first["y"].tolist() != second["y"].tolist()
+
+    def test_udf_reregistration_invalidates(self, session):
+        _register_numbers(session, n=4)
+
+        @session.udf("float", name="f")
+        def f_v1(x):
+            return x * 2.0
+
+        sql = "SELECT f(x) AS y FROM t"
+        assert session.sql.query(sql).run(toPandas=True)["y"].tolist() == \
+            [0.0, 2.0, 4.0, 6.0]
+
+        @session.udf("float", name="f")
+        def f_v2(x):
+            return x * 3.0
+
+        assert session.sql.query(sql).run(toPandas=True)["y"].tolist() == \
+            [0.0, 3.0, 6.0, 9.0]
+
+
+class TestEmbeddingSharing:
+    """Query-time UDF evaluation and index builds share corpus encodes."""
+
+    def _session(self, rng):
+        session = Session()
+        corpus = rng.normal(size=(64, 8)).astype(np.float32)
+        corpus /= np.linalg.norm(corpus, axis=1, keepdims=True)
+        vocab = {"q": corpus[3] + 0.01, "other": corpus[40]}
+        encoded_rows = []
+
+        class TwoTower(nn.Module):
+            def encode_image(self, images: Tensor) -> Tensor:
+                encoded_rows.append(images.shape[0])
+                return images
+
+            def encode_text(self, texts) -> Tensor:
+                return Tensor(np.stack([vocab[t] for t in texts]))
+
+        model = TwoTower()
+        session.sql.register_dict(
+            {"id": np.arange(64), "emb": corpus}, "vecs")
+
+        @session.udf("float", name="vec_sim", modules=[model],
+                     ann="inner_product")
+        def vec_sim(query: str, emb: Tensor) -> Tensor:
+            img = model.encode_image(emb)
+            txt = model.encode_text([query])
+            return ops.matmul(img, ops.reshape(txt, (-1, 1))).reshape(-1)
+
+        return session, encoded_rows
+
+    SQL = ("SELECT id, vec_sim('q', emb) AS score FROM vecs "
+           "ORDER BY score DESC LIMIT 5")
+    EXACT = {"disable_rules": ("vector_index",)}
+
+    def test_index_build_after_query_reuses_embeddings(self, rng):
+        session, encoded_rows = self._session(rng)
+        exact = session.sql.query(self.SQL).run()
+        assert sum(encoded_rows) == 64           # cold: corpus encoded once
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=4, nprobe=4)"
+        ).run()
+        indexed = session.sql.query(self.SQL)
+        assert "IndexScan" in indexed.explain()
+        got = indexed.run()                      # triggers the lazy build
+        assert sum(encoded_rows) == 64           # zero additional encodes
+        assert got.column("id").tolist() == exact.column("id").tolist()
+        np.testing.assert_array_equal(got.column("score"),
+                                      exact.column("score"))
+
+    def test_query_after_index_build_reuses_embeddings(self, rng):
+        session, encoded_rows = self._session(rng)
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=4, nprobe=4)"
+        ).run()
+        session.sql.query(self.SQL).run()        # builds: one corpus encode
+        assert sum(encoded_rows) == 64
+        session.sql.query(self.SQL, extra_config=self.EXACT).run()
+        assert sum(encoded_rows) == 64           # exact scan reused the build
+
+    def test_cache_disabled_query_also_disables_build_sharing(self, rng):
+        """extra_config={"tensor_cache": False} covers the lazy index build
+        a query triggers, not just its expression evaluation."""
+        session, encoded_rows = self._session(rng)
+        off = {"tensor_cache": False}
+        session.sql.query(self.SQL, extra_config={**self.EXACT, **off}).run()
+        assert sum(encoded_rows) == 64
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=4, nprobe=4)"
+        ).run()
+        session.sql.query(self.SQL, extra_config=off).run()
+        assert sum(encoded_rows) >= 128          # build re-encoded the corpus
+        assert session.tensor_cache.stats["hits"] == 0
+
+    def test_stale_tags_never_leak_into_other_udfs(self, session):
+        """A model shared between a deterministic and a deterministic=False
+        UDF must not serve (or capture) encoder entries for the latter."""
+        corpus = np.arange(16, dtype=np.float32).reshape(8, 2)
+        encoded_rows = []
+
+        class Encoder(nn.Module):
+            def encode_image(self, images):
+                encoded_rows.append(images.shape[0])
+                return images
+
+            def encode_text(self, texts):
+                return Tensor(np.ones((len(texts), 2), dtype=np.float32))
+
+        model = Encoder()
+        session.sql.register_dict({"emb": corpus}, "t")
+
+        @session.udf("float", name="f_det", modules=[model])
+        def f_det(emb):
+            return ops.sum(model.encode_image(emb), dim=1)
+
+        @session.udf("float", name="f_rand", modules=[model],
+                     deterministic=False)
+        def f_rand(emb):
+            return ops.sum(model.encode_image(emb), dim=1)
+
+        session.sql.query("SELECT f_det(emb) AS y FROM t").run()
+        assert sum(encoded_rows) == 8
+        session.sql.query("SELECT f_rand(emb) AS y FROM t").run()
+        session.sql.query("SELECT f_rand(emb) AS y FROM t").run()
+        assert sum(encoded_rows) == 24           # f_rand always re-encodes
+
+
+class TestTensorCacheLru:
+    def test_eviction_respects_byte_budget(self):
+        cache = TensorCache(max_bytes=100)
+        a = Tensor(np.zeros(10, dtype=np.float32))   # 40 bytes
+        cache.put(("a",), a, a.data.nbytes)
+        cache.put(("b",), a, a.data.nbytes)
+        assert len(cache) == 2
+        cache.put(("c",), a, a.data.nbytes)          # over budget: evict LRU
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache._touch(("a",)) is None          # oldest entry evicted
+        assert cache._touch(("c",)) is not None
+
+    def test_oversized_values_rejected(self):
+        cache = TensorCache(max_bytes=16)
+        big = Tensor(np.zeros(100, dtype=np.float32))
+        cache.put(("big",), big, big.data.nbytes)
+        assert len(cache) == 0
+
+    def test_state_fingerprint_tracks_parameters(self):
+        model = nn.Linear(2, 2)
+        before = state_fingerprint([model])
+        assert before == state_fingerprint([model])
+        model.weight.data = model.weight.data + 1.0
+        assert state_fingerprint([model]) != before
+        assert state_fingerprint([object()]) == "stateless"

@@ -318,6 +318,53 @@ class TestKMeansReseeding:
         assert set(ids.tolist()) == {100, 101, 102, 103}
 
 
+class TestNprobeHint:
+    """Per-query probe-width override: extra_config={"nprobe": N}."""
+
+    def test_hint_overrides_index_default(self, vec_session):
+        session, _, _ = vec_session
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=8, nprobe=1)").run()
+        sql = TOPK_SQL.format(q="probe", k=10)
+        hinted = session.sql.query(sql, extra_config={"nprobe": 8})
+        assert "IndexScan" in hinted.explain()
+        assert "nprobe=8 (hint)" in hinted.explain()
+        default = session.sql.query(sql)
+        assert "(hint)" not in default.explain()
+        # Probing every cell is exact: hint results must match the exact plan.
+        exact = session.sql.query(sql, extra_config=EXACT)
+        assert _ids(hinted.run()) == _ids(exact.run())
+
+    def test_hint_is_part_of_the_plan_cache_fingerprint(self, vec_session):
+        session, _, _ = vec_session
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=8, nprobe=1)").run()
+        sql = TOPK_SQL.format(q="probe", k=5)
+        plain = session.sql.query(sql)
+        hinted = session.sql.query(sql, extra_config={"nprobe": 4})
+        assert plain is not hinted
+        assert session.sql.query(sql, extra_config={"nprobe": 4}) is hinted
+
+    def test_hint_clamps_to_cell_count(self, vec_session):
+        session, _, _ = vec_session
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=4, nprobe=4)").run()
+        sql = TOPK_SQL.format(q="q0", k=5)
+        got = session.sql.query(sql, extra_config={"nprobe": 1000}).run()
+        want = session.sql.query(sql, extra_config=EXACT).run()
+        assert _ids(got) == _ids(want)
+
+    def test_bad_hints_rejected(self, vec_session):
+        session, _, _ = vec_session
+        session.sql.query(
+            "CREATE VECTOR INDEX vidx ON vecs(emb) WITH (cells=4, nprobe=4)").run()
+        sql = TOPK_SQL.format(q="q0", k=5)
+        with pytest.raises(ValueError, match="nprobe"):
+            session.sql.query(sql, extra_config={"nprobe": 0})
+        with pytest.raises(ValueError, match="nprobe"):
+            session.sql.query(sql, extra_config={"nprobe": "wide"})
+
+
 def _one(result, column):
     values = result.column(column)
     assert len(values) == 1

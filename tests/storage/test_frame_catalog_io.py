@@ -46,6 +46,21 @@ class TestDataFrame:
         assert f.sort_values("a")["a"].tolist() == [1, 2, 3]
         assert f.sort_values("a", ascending=False)["a"].tolist() == [3, 2, 1]
 
+    def test_sort_values_is_stable_in_both_directions(self):
+        f = DataFrame({"k": [1, 2, 1, 2, 1], "id": [0, 1, 2, 3, 4]})
+        asc = f.sort_values("k")
+        assert asc["k"].tolist() == [1, 1, 1, 2, 2]
+        assert asc["id"].tolist() == [0, 2, 4, 1, 3]     # ties in input order
+        desc = f.sort_values("k", ascending=False)
+        assert desc["k"].tolist() == [2, 2, 1, 1, 1]
+        assert desc["id"].tolist() == [1, 3, 0, 2, 4]    # ties in input order
+
+    def test_sort_values_descending_stable_for_strings(self):
+        f = DataFrame({"k": np.array(["b", "a", "b", "a"]), "id": [0, 1, 2, 3]})
+        desc = f.sort_values("k", ascending=False)
+        assert desc["k"].tolist() == ["b", "b", "a", "a"]
+        assert desc["id"].tolist() == [0, 2, 1, 3]
+
     def test_equals_with_float_tolerance(self):
         a = DataFrame({"x": [1.0, 2.0]})
         b = DataFrame({"x": [1.0 + 1e-8, 2.0]})
