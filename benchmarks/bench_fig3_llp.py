@@ -13,7 +13,8 @@ import pytest
 
 from repro.apps import llp
 from repro.baselines.regression import train_non_llp
-from repro.bench.harness import print_table, report_paper_vs_measured, scaled
+from repro.bench.harness import (bench_scale, print_table,
+                                 report_paper_vs_measured, scaled)
 from repro.core.session import Session
 from repro.datasets.adult import make_adult, train_test_split
 from repro.datasets.bags import laplace_counts, make_bags
@@ -42,33 +43,46 @@ def _train_llp(train_x, train_y, test_x, test_y, bag_size, noisy, seed):
     return app.model.error(test_x, test_y)
 
 
+def _bag_sizes(train_rows: int) -> list:
+    """The documented sizes at full scale; at smoke scale (< 1) only sizes
+    the shrunken dataset can fill with enough bags to train on — accuracy
+    claims at bag 512 are meaningless over a few hundred rows (same policy
+    as bench_vector_topk's fixed-corpus recall gates)."""
+    if bench_scale() >= 1:
+        return list(BAG_SIZES)
+    supported = [size for size in BAG_SIZES if size <= train_rows // 8]
+    return supported or list(BAG_SIZES[:1])
+
+
 @pytest.fixture(scope="module")
 def series(adult_split):
     (train_x, train_y), (test_x, test_y) = adult_split
     baseline = train_non_llp(train_x, train_y, epochs=25)
     non_llp_error = baseline.error(test_x, test_y)
+    bag_sizes = _bag_sizes(len(train_x))
     llp_errors, dp_errors = [], []
-    for bag_size in BAG_SIZES:
+    for bag_size in bag_sizes:
         llp_errors.append(_train_llp(train_x, train_y, test_x, test_y,
                                      bag_size, noisy=False, seed=bag_size))
         dp_errors.append(_train_llp(train_x, train_y, test_x, test_y,
                                     bag_size, noisy=True, seed=bag_size))
     rows = [
         [size, llp_err, dp_err, non_llp_error]
-        for size, llp_err, dp_err in zip(BAG_SIZES, llp_errors, dp_errors)
+        for size, llp_err, dp_err in zip(bag_sizes, llp_errors, dp_errors)
     ]
     print_table(
         "Fig 3 (middle): LLP classification error vs bag size",
         ["bag size", "LLP", "LLP-DP (eps=0.1)", "Non-LLP"], rows,
     )
-    return non_llp_error, llp_errors, dp_errors
+    return non_llp_error, llp_errors, dp_errors, bag_sizes
 
 
 class TestFig3Middle:
     def test_fig3_middle_llp(self, benchmark, series):
-        non_llp_error, llp_errors, _ = series
+        non_llp_error, llp_errors, _, bag_sizes = series
         small_bag_error = llp_errors[0]
         large_bag_error = np.mean(llp_errors[-2:])
+        large_sizes = "/".join(str(s) for s in bag_sizes[-2:])
         report_paper_vs_measured("Fig 3 (middle) LLP", [
             {"metric": "small-bag LLP close to Non-LLP",
              "paper": "errors quite close for small bags",
@@ -77,9 +91,9 @@ class TestFig3Middle:
              "holds": small_bag_error < non_llp_error + 0.08},
             {"metric": "error grows with bag size",
              "paper": "gradual increase, still relatively stable",
-             "measured": f"LLP(256/512) mean={large_bag_error:.3f}",
+             "measured": f"LLP({large_sizes}) mean={large_bag_error:.3f}",
              "holds": large_bag_error >= small_bag_error - 0.02},
-            {"metric": "LLP stays far from chance even at 512",
+            {"metric": f"LLP stays far from chance even at {bag_sizes[-1]}",
              "paper": "error remains relatively stable",
              "measured": f"{llp_errors[-1]:.3f}",
              "holds": llp_errors[-1] < 0.45},
@@ -89,7 +103,7 @@ class TestFig3Middle:
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 
     def test_fig3_middle_llp_dp(self, benchmark, series):
-        non_llp_error, llp_errors, dp_errors = series
+        non_llp_error, llp_errors, dp_errors, bag_sizes = series
         best = int(np.argmin(dp_errors))
         report_paper_vs_measured("Fig 3 (middle) LLP-DP", [
             {"metric": "small bags destroyed by noise",
@@ -98,8 +112,8 @@ class TestFig3Middle:
              "holds": dp_errors[0] > llp_errors[0] + 0.1},
             {"metric": "optimal bag size interior (paper: 64)",
              "paper": "trade-off optimum near 64",
-             "measured": f"best at {BAG_SIZES[best]}",
-             "holds": 8 <= BAG_SIZES[best] <= 256},
+             "measured": f"best at {bag_sizes[best]}",
+             "holds": 8 <= bag_sizes[best] <= 256},
             {"metric": "DP worse than plain LLP at small bags",
              "paper": "noise overpowers label signal",
              "measured": f"DP(1)={dp_errors[0]:.3f} vs LLP(1)={llp_errors[0]:.3f}",

@@ -13,7 +13,7 @@ Three measurements:
 import numpy as np
 import pytest
 
-from repro.bench.harness import print_table, scaled, time_call
+from repro.bench.harness import print_table, record_metric, scaled, time_call
 from repro.core.session import Session
 
 N_ROWS = scaled(300_000)
@@ -60,6 +60,8 @@ class TestPlanCache:
             [["cold compile + run", cold_s, 1.0],
              ["plan-cache hit + run", warm_s, cold_s / warm_s]],
         )
+        record_metric("plan_cache", speedup=round(cold_s / warm_s, 2),
+                      cold_s=round(cold_s, 5), warm_s=round(warm_s, 5))
         assert warm_s * 5 <= cold_s
         benchmark.pedantic(warm, rounds=5, iterations=1, warmup_rounds=1)
 

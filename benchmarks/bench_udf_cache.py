@@ -19,7 +19,8 @@ import contextlib
 import numpy as np
 import pytest
 
-from repro.bench.harness import Timer, bench_scale, print_table, scaled, time_call
+from repro.bench.harness import (Timer, bench_scale, print_table,
+                                 record_metric, scaled, time_call)
 from repro.apps.multimodal import setup_multimodal
 from repro.core.session import Session
 
@@ -75,6 +76,8 @@ class TestUdfCache:
             [["cold (model inference)", cold.seconds, 1.0],
              ["warm (cache hit)", warm_s, speedup]],
         )
+        record_metric("udf_cache", speedup=round(speedup, 2),
+                      cold_s=round(cold.seconds, 4), warm_s=round(warm_s, 6))
         assert speedup >= (5.0 if bench_scale() >= 1 else 2.0)
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)
 

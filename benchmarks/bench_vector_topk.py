@@ -20,7 +20,8 @@ repeated-statement reuse is bench_udf_cache.py's experiment.
 import numpy as np
 import pytest
 
-from repro.bench.harness import bench_scale, print_table, scaled, time_call
+from repro.bench.harness import (bench_scale, print_table, record_metric,
+                                 scaled, time_call)
 from repro.apps.multimodal import setup_multimodal
 from repro.core.session import Session
 
@@ -80,6 +81,9 @@ class TestVectorTopK:
             [["exact scan + TopK", exact_s, 1.0, 1.0],
              ["CREATE VECTOR INDEX + IndexScan", indexed_s, recall, speedup]],
         )
+        record_metric("vector_topk", speedup=round(speedup, 2),
+                      recall=round(recall, 4),
+                      exact_s=round(exact_s, 4), indexed_s=round(indexed_s, 4))
         assert recall >= 0.9
         # The speedup target assumes the documented corpus/repeat sizes; a
         # smoke run (scale < 1) only checks the indexed path stays ahead.

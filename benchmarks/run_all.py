@@ -1,0 +1,118 @@
+"""Run every ``bench_*.py`` smoke and aggregate one BENCH_RESULTS.json.
+
+CI uploads the file as an artifact, so the repo's perf trajectory
+(plan-cache speedup, ANN recall/speedup, tensor-cache warm factor,
+concurrent-serving throughput, ...) is machine-readable per commit.
+
+Each bench contributes its headline numbers through
+``repro.bench.harness.record_metric`` (activated by pointing
+``REPRO_BENCH_JSON`` at a scratch file); this driver adds the pass/fail
+status and wall time of every bench file on top.
+
+Usage::
+
+    python benchmarks/run_all.py [--scale 0.2] [--output BENCH_RESULTS.json]
+
+Exit code is non-zero if any bench fails, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+BENCH_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(BENCH_DIR)
+
+
+def discover() -> list:
+    return sorted(
+        name for name in os.listdir(BENCH_DIR)
+        if name.startswith("bench_") and name.endswith(".py")
+    )
+
+
+def run_bench(name: str, scale: str, metrics_path: str) -> dict:
+    env = dict(os.environ)
+    env["REPRO_BENCH_SCALE"] = scale
+    env["REPRO_BENCH_JSON"] = metrics_path
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    start = time.perf_counter()
+    retried = False
+    for attempt in (1, 2):
+        proc = subprocess.run(
+            [sys.executable, "-m", "pytest", os.path.join(BENCH_DIR, name),
+             "-q", "--benchmark-disable"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        )
+        if proc.returncode == 0:
+            break
+        # Perf gates sit near their thresholds by design; one retry
+        # absorbs scheduler/timing noise on shared CI runners without
+        # masking real regressions (which fail twice).
+        if attempt == 1:
+            retried = True
+            print(f"[run_all] {name}: failed once, retrying", flush=True)
+    seconds = time.perf_counter() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout[-4000:] + proc.stderr[-2000:])
+    out = {"status": "passed" if proc.returncode == 0 else "failed",
+           "seconds": round(seconds, 2)}
+    if retried:
+        out["retried"] = True
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale",
+                        default=os.environ.get("REPRO_BENCH_SCALE", "0.2"),
+                        help="REPRO_BENCH_SCALE for every bench (default 0.2)")
+    parser.add_argument("--output", default="BENCH_RESULTS.json")
+    parser.add_argument("--only", nargs="*",
+                        help="bench file names to run (default: all)")
+    args = parser.parse_args(argv)
+
+    benches = args.only or discover()
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as handle:
+        metrics_path = handle.name
+    results = {"scale": float(args.scale), "benches": {}}
+    failed = []
+    try:
+        for name in benches:
+            print(f"[run_all] {name} ...", flush=True)
+            outcome = run_bench(name, args.scale, metrics_path)
+            results["benches"][name] = outcome
+            if outcome["status"] != "passed":
+                failed.append(name)
+            print(f"[run_all] {name}: {outcome['status']} "
+                  f"({outcome['seconds']}s)", flush=True)
+        metrics = {}
+        if os.path.exists(metrics_path):
+            try:
+                with open(metrics_path) as fh:
+                    metrics = json.load(fh)
+            except ValueError:
+                metrics = {}
+        results["metrics"] = metrics
+    finally:
+        if os.path.exists(metrics_path):
+            os.unlink(metrics_path)
+
+    with open(args.output, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+    print(f"[run_all] wrote {args.output}: "
+          f"{len(benches) - len(failed)}/{len(benches)} passed, "
+          f"{len(results['metrics'])} metric groups")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

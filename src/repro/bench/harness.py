@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import json
 import os
+import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
@@ -19,6 +21,34 @@ def bench_scale() -> float:
 
 def scaled(value: int, minimum: int = 1) -> int:
     return max(int(round(value * bench_scale())), minimum)
+
+
+_METRIC_LOCK = threading.Lock()
+
+
+def record_metric(name: str, **values) -> None:
+    """Record a benchmark's headline numbers for the CI perf trajectory.
+
+    When ``REPRO_BENCH_JSON`` names a file, merge ``{name: values}`` into it
+    (read-modify-write under a lock; concurrent benches in one process stay
+    consistent). ``benchmarks/run_all.py`` sets the variable and aggregates
+    every bench's metrics into ``BENCH_RESULTS.json``; without it this is a
+    no-op, so ad-hoc bench runs are unaffected.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    with _METRIC_LOCK:
+        data = {}
+        if os.path.exists(path):
+            try:
+                with open(path) as handle:
+                    data = json.load(handle)
+            except (ValueError, OSError):
+                data = {}
+        data.setdefault(name, {}).update(values)
+        with open(path, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
 
 
 class Timer:

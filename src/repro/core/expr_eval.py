@@ -183,24 +183,28 @@ class ExpressionEvaluator:
         # Materialization cache: deterministic UDFs outside grad recording
         # consult the session cache. A full hit skips inference entirely; a
         # subset (post-filter) evaluation gathers from a cached full-column
-        # entry; a miss computes and inserts.
+        # entry; a miss computes and inserts. When a scheduler inference
+        # batcher is active, arguments are tagged even with the cache off so
+        # concurrent queries' encoder micro-batches can coalesce in flight.
         cache = tc.active()
-        use_cache = (cache is not None
-                     and getattr(udf, "deterministic", True)
-                     and not _udf_needs_grad(udf)
-                     # Modules left in train() mode may be stochastic
-                     # (dropout): never cache their outputs.
-                     and not any(getattr(m, "training", False)
-                                 for m in udf.modules))
+        eligible = (getattr(udf, "deterministic", True)
+                    and not _udf_needs_grad(udf)
+                    # Modules left in train() mode may be stochastic
+                    # (dropout): never cache their outputs.
+                    and not any(getattr(m, "training", False)
+                                for m in udf.modules))
+        use_cache = cache is not None and eligible
+        want_tags = use_cache or (eligible and tc.active_batcher() is not None)
         key = None
         tags = ()
-        if use_cache:
+        if want_tags:
             key, full_key, rows, tags = _bcall_cache_plan(udf, values, args,
                                                           self, cache)
-            if key is not None:
+            if use_cache and key is not None:
                 cached = cache.udf_get(key, full_key, rows)
                 if cached is not None:
                     return cached[0]
+            if tags:
                 # Tag the argument tensors so encoder memos inside the UDF
                 # (model.encode_image) can capture/reuse embeddings. Tags
                 # are removed after the invocation: they must never leak
@@ -592,9 +596,12 @@ def _bcall_cache_plan(udf, values, args, evaluator, cache):
     full-column key usable for a row gather (when every column argument is
     the same row subset of its base column); the subset row indices; and
     ``(tensor, tag)`` pairs to attach before invoking the UDF. ``key`` is
-    None when an argument has no stable content identity.
+    None when an argument has no stable content identity. ``cache`` may be
+    None (batcher-only tagging): tags are still computed, keys are not
+    usable for insertion but content identity is what in-flight encoder
+    dedup runs on.
     """
-    state_fp = cache.udf_state_fp(udf)
+    state_fp = cache.udf_state_fp(udf) if cache is not None else "nocache"
     head = ("udf", udf.name.lower(), getattr(udf, "version", 0), state_fp,
             str(evaluator.device))
     parts, full_parts, tags = [head], [head], []

@@ -22,6 +22,7 @@ model behind the similarity UDF (anything exposing ``encode_image`` /
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -70,6 +71,10 @@ class IndexEntry:
             raise CatalogError(f"index {name!r}: nprobe must be >= 1")
         self.seed = int(seed)
         self.embedder = embedder
+        # Serialises lazy (re)builds: concurrent probes of an unbuilt/stale
+        # entry build exactly once; the losers of the race reuse the winner's
+        # cells (IndexManager.ensure_built double-checks under this lock).
+        self._build_lock = threading.RLock()
         # Build state (populated lazily by IndexManager.ensure_built).
         self.index: Optional[IVFFlatIndex] = None
         self.built_table = None          # the Table object the cells came from
@@ -99,6 +104,11 @@ class IndexManager:
         self.catalog = catalog
         self.tensor_cache = tensor_cache  # the session's TensorCache (or None)
         self._entries: Dict[str, IndexEntry] = {}
+        # Guards the registry maps and the epoch counter. Lock ordering:
+        # manager/entry-build locks may acquire the catalog lock (table
+        # resolution) and the tensor-cache lock (embedding reuse), never the
+        # reverse.
+        self._lock = threading.RLock()
         self.epoch = 0
 
     # ------------------------------------------------------------------
@@ -109,8 +119,6 @@ class IndexManager:
                embedder: Optional[Callable] = None,
                replace: bool = False) -> IndexEntry:
         key = name.lower()
-        if not replace and key in self._entries:
-            raise CatalogError(f"index {name!r} already exists")
         target = self.catalog.get(table)       # raises on unknown table
         if not target.has_column(column):
             raise CatalogError(
@@ -119,44 +127,54 @@ class IndexManager:
             )
         entry = IndexEntry(name, table, column, cells=cells, nprobe=nprobe,
                            seed=seed, embedder=embedder)
-        self._entries[key] = entry
-        self.epoch += 1
+        with self._lock:
+            if not replace and key in self._entries:
+                raise CatalogError(f"index {name!r} already exists")
+            self._entries[key] = entry
+            self.epoch += 1
         return entry
 
     def drop(self, name: str, if_exists: bool = False) -> bool:
         key = name.lower()
-        if key not in self._entries:
-            if if_exists:
-                return False
-            raise CatalogError(f"cannot drop unknown index {name!r}")
-        del self._entries[key]
-        self.epoch += 1
-        return True
+        with self._lock:
+            if key not in self._entries:
+                if if_exists:
+                    return False
+                raise CatalogError(f"cannot drop unknown index {name!r}")
+            del self._entries[key]
+            self.epoch += 1
+            return True
 
     def lookup(self, name: str) -> Optional[IndexEntry]:
-        return self._entries.get(name.lower())
+        with self._lock:
+            return self._entries.get(name.lower())
 
     def find(self, table: str, column: str) -> Optional[IndexEntry]:
         """The index on ``(table, column)``, if any (first match wins)."""
-        for entry in self._entries.values():
-            if entry.table.lower() == table.lower() \
-                    and entry.column.lower() == column.lower():
-                return entry
-        return None
+        with self._lock:
+            for entry in self._entries.values():
+                if entry.table.lower() == table.lower() \
+                        and entry.column.lower() == column.lower():
+                    return entry
+            return None
 
     def entries(self) -> List[IndexEntry]:
-        return list(self._entries.values())
+        with self._lock:
+            return list(self._entries.values())
 
     def clear(self) -> None:
-        if self._entries:
-            self._entries.clear()
-            self.epoch += 1
+        with self._lock:
+            if self._entries:
+                self._entries.clear()
+                self.epoch += 1
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, name: str) -> bool:
-        return name.lower() in self._entries
+        with self._lock:
+            return name.lower() in self._entries
 
     # ------------------------------------------------------------------
     # Build / probe
@@ -203,42 +221,51 @@ class IndexManager:
         entry fixes its embedding space. A later UDF with a *different*
         model raises (callers fall back to the exact plan) instead of
         rebuilding the corpus on every alternating query.
+
+        Builds are **once-only under race**: the whole check-and-build runs
+        under the entry's build lock, so N concurrent probes of an unbuilt
+        (or stale) entry embed the corpus exactly once and the other N-1
+        probes block briefly and reuse the winner's cells.
         """
-        current = self.catalog.get(entry.table)
-        model = None
-        metric = None
-        if udf is not None and entry.embedder is None:
-            model = _two_tower_model(udf)
-            metric = getattr(udf, "ann_metric", None)
-            if model is not None and entry.model is not None \
-                    and model is not entry.model:
-                raise ExecutionError(
-                    f"index {entry.name!r} is bound to a different embedding "
-                    f"model than UDF {getattr(udf, 'name', '?')!r}"
-                )
-            if metric is not None and entry.metric is not None \
-                    and metric != entry.metric:
-                raise ExecutionError(
-                    f"index {entry.name!r} is bound to metric "
-                    f"{entry.metric!r}, not {metric!r}"
-                )
-        if entry.index is not None and entry.built_table is current:
-            return entry.index
-        if model is not None and entry.model is None:
-            entry.model = model
-            entry.metric = metric
-            entry.udf_name = getattr(udf, "name", None)
-        column = current.column(entry.column)
-        vectors = self._embed_corpus(entry, column, model,
-                                     use_tensor_cache=use_tensor_cache)
-        if entry.metric == "cosine":
-            # IVF cells score by raw inner product; normalising corpus and
-            # query vectors makes that ranking equal cosine ranking.
-            vectors = _l2_normalize(vectors)
-        entry.index = IVFFlatIndex(num_cells=entry.cells, seed=entry.seed).build(vectors)
-        entry.built_table = current
-        entry.build_count += 1
-        return entry.index
+        with entry._build_lock:
+            current = self.catalog.get(entry.table)
+            model = None
+            metric = None
+            if udf is not None and entry.embedder is None:
+                model = _two_tower_model(udf)
+                metric = getattr(udf, "ann_metric", None)
+                if model is not None and entry.model is not None \
+                        and model is not entry.model:
+                    raise ExecutionError(
+                        f"index {entry.name!r} is bound to a different embedding "
+                        f"model than UDF {getattr(udf, 'name', '?')!r}"
+                    )
+                if metric is not None and entry.metric is not None \
+                        and metric != entry.metric:
+                    raise ExecutionError(
+                        f"index {entry.name!r} is bound to metric "
+                        f"{entry.metric!r}, not {metric!r}"
+                    )
+            if entry.index is not None and entry.built_table is current:
+                return entry.index
+            if model is not None and entry.model is None:
+                entry.model = model
+                entry.metric = metric
+                entry.udf_name = getattr(udf, "name", None)
+            column = current.column(entry.column)
+            vectors = self._embed_corpus(entry, column, model,
+                                         use_tensor_cache=use_tensor_cache)
+            if entry.metric == "cosine":
+                # IVF cells score by raw inner product; normalising corpus and
+                # query vectors makes that ranking equal cosine ranking.
+                vectors = _l2_normalize(vectors)
+            index = IVFFlatIndex(num_cells=entry.cells, seed=entry.seed).build(vectors)
+            # Publish fully-built state only (readers of entry.index outside
+            # the lock must never observe cells for a half-updated entry).
+            entry.built_table = current
+            entry.build_count += 1
+            entry.index = index
+            return index
 
     def _embed_corpus(self, entry: IndexEntry, column, model,
                       use_tensor_cache: bool = True) -> np.ndarray:

@@ -8,7 +8,8 @@ a name rather than a table snapshot is what makes that work.
 from __future__ import annotations
 
 import contextlib
-from typing import List, Optional, Tuple
+import contextvars
+from typing import List, Optional
 
 from repro.errors import ExecutionError
 from repro.core.operators.base import Operator, Relation
@@ -17,8 +18,11 @@ from repro.tcr.device import Device
 
 # Active shared-scan memo (None outside a ``shared_scans`` block). Batch
 # execution opens one so that N statements over the same table pay the
-# select + device-transfer cost once.
-_SCAN_MEMO: Optional[dict] = None
+# select + device-transfer cost once. A ContextVar, not a module global:
+# concurrent ``execute_many`` batches on scheduler worker threads each get
+# their own memo and can never cross-pollinate mid-batch.
+_SCAN_MEMO: "contextvars.ContextVar[Optional[dict]]" = contextvars.ContextVar(
+    "tdp_scan_memo", default=None)
 
 
 @contextlib.contextmanager
@@ -28,16 +32,17 @@ def shared_scans():
     Used by ``Session.execute_many`` / ``CompiledQuery.run_many``. Scan
     results are immutable (operators gather into fresh tables), so sharing
     the Relation across queries is safe. Nested blocks share the outermost
-    memo.
+    memo; the memo is scoped to the opening thread/context, so concurrent
+    batches stay isolated.
     """
-    global _SCAN_MEMO
-    previous = _SCAN_MEMO
-    if _SCAN_MEMO is None:
-        _SCAN_MEMO = {}
+    if _SCAN_MEMO.get() is not None:
+        yield
+        return
+    token = _SCAN_MEMO.set({})
     try:
         yield
     finally:
-        _SCAN_MEMO = previous
+        _SCAN_MEMO.reset(token)
 
 
 class ScanExec(Operator):
@@ -56,7 +61,8 @@ class ScanExec(Operator):
                 f"table {self.table_name!r} no longer has columns {missing} "
                 f"(re-registered with a different schema?)"
             )
-        if _SCAN_MEMO is None:
+        scan_memo = _SCAN_MEMO.get()
+        if scan_memo is None:
             ordered = table.select(self.column_names)
             if ordered.device != self.device:
                 ordered = ordered.to(self.device)
@@ -67,7 +73,7 @@ class ScanExec(Operator):
         # Keyed on the Table object itself (identity hash + strong reference):
         # an id()-based key could alias a recycled address if a table were
         # dropped and replaced mid-batch.
-        memo = _SCAN_MEMO.setdefault((table, str(self.device)), {})
+        memo = scan_memo.setdefault((table, str(self.device)), {})
         columns = []
         for name in self.column_names:
             column = memo.get(name)

@@ -1,0 +1,442 @@
+"""Concurrent query serving: worker pool, statement coalescing, and
+cross-query inference batching.
+
+The paper frames TDP as a *system* serving mixed AI+SQL workloads; NeurDB
+and "Towards Effective Orchestration of AI x DB Workloads" both argue that
+the win in concurrent AI-database serving comes from scheduling inference
+*across* queries, not just caching within one. This module is that layer:
+
+* :class:`QueryScheduler` — a worker pool behind ``Session.submit`` /
+  ``Session.serve``. Statements execute exactly as ``compile_query().run()``
+  would (same plan cache, same tensor cache, same locks), so results are
+  identical to serialized execution.
+
+* **Statement coalescing** — identical statements in flight at the same
+  catalog/UDF/index versions share one execution: the first submission
+  becomes the *leader*, later duplicates attach their futures and receive
+  the leader's result object (the request-collapse technique CDNs use
+  against thundering herds). This is what keeps throughput up in the
+  eviction-bound regime where the working set exceeds the materialization
+  cache: concurrent demand is served once even when nothing can be
+  retained. DDL and trainable statements never coalesce; a registry change
+  between two submissions (version stamp mismatch) disqualifies joining, so
+  a follower never observes pre-DDL state submitted post-DDL.
+
+* :class:`InferenceBatcher` — the cross-query inference scheduler. The CPU
+  device profile dispatches UDFs row-at-a-time (the paper's Fig 2
+  mechanism), so N concurrent similarity queries over one corpus each
+  stream the same encoder micro-batches. The batcher intercepts encoder
+  calls (via the tensor-cache encoder memo) and holds each request briefly;
+  when every actively-encoding worker has a request pending (or a 2 ms
+  window lapses), the batch flushes: identical-content requests collapse
+  into **one forward pass** whose result is handed to every waiter and
+  scattered back through the existing TensorCache per-slice keys — PR 3's
+  slice-entry machinery extended with an in-flight rendezvous. The effect
+  is a convoy: N queries advance row by row over the corpus paying one
+  encode per row instead of N.
+
+  With ``fuse_batches=True`` the flush additionally concatenates
+  *different*-content requests for the same (model, device, shape) into one
+  stacked forward. Stacked forwards change BLAS batch shapes, so outputs can
+  differ from per-request forwards in float LSBs (exactly like an index
+  build's full-batch encode vs. query-time micro-batches); it is off by
+  default so concurrent serving stays bit-identical with serialized
+  execution.
+
+Locking rules (engine-wide ordering, see ROADMAP "Concurrent serving"):
+scheduler lock and batcher condition are leaves — no engine lock is
+acquired while holding them, and the batcher computes forwards *outside*
+its condition so waiting threads only block on the GIL-released numpy work.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from concurrent.futures import Future
+from queue import SimpleQueue
+from typing import List, Mapping, Optional, Sequence
+
+from repro.core import tensor_cache as tc
+from repro.core.config import QueryConfig
+from repro.tcr import ops
+from repro.tcr.device import as_device
+
+
+class _EncodeRequest:
+    """One pending encoder micro-batch (a worker blocked on its result)."""
+
+    __slots__ = ("key", "model", "orig", "images", "tag", "token", "fp",
+                 "cache", "done", "taken", "result", "exc")
+
+    def __init__(self, key, model, orig, images, tag, token, fp, cache):
+        self.key = key
+        self.model = model
+        self.orig = orig
+        self.images = images
+        self.tag = tag
+        self.token = token
+        self.fp = fp
+        self.cache = cache
+        self.done = False
+        self.taken = False
+        self.result = None
+        self.exc = None
+
+
+class InferenceBatcher:
+    """Coalesce concurrent queries' encoder micro-batches for the same
+    (model, device) into one forward pass.
+
+    Requests rendezvous on a condition variable. A request flushes the
+    pending set when every worker currently known to be encoding is blocked
+    here (nothing new can arrive until someone is released) or when the
+    batch window lapses — so a lone query pays zero added latency, while N
+    lockstep queries pay one forward per distinct micro-batch.
+    """
+
+    def __init__(self, window: float = 0.002, fuse: bool = False):
+        self.window = float(window)
+        self.fuse = bool(fuse)
+        self._cond = threading.Condition()
+        self._pending: List[_EncodeRequest] = []
+        self._inflight: dict = {}
+        self._encoders: set = set()   # worker idents seen encoding this statement
+        self._blocked: set = set()    # worker idents currently waiting in encode()
+        self.requests = 0
+        self.joins = 0
+        self.forwards = 0
+        self.fused_forwards = 0
+        self.fused_requests = 0
+
+    # ------------------------------------------------------------------
+    # Worker bookkeeping (called by QueryScheduler)
+    # ------------------------------------------------------------------
+    def statement_finished(self) -> None:
+        """The calling worker finished its statement: stop waiting for it."""
+        ident = threading.get_ident()
+        with self._cond:
+            self._encoders.discard(ident)
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # The rendezvous
+    # ------------------------------------------------------------------
+    def encode(self, model, orig, images, tag, token, fp, cache):
+        """Serve one encoder micro-batch, coalescing with concurrent
+        identical requests (and optionally fusing distinct ones)."""
+        ident = threading.get_ident()
+        key = (token, str(images.device), tag.base, tag.rows_fp)
+        device = str(images.device)
+        batch = None
+        joined = None
+        with self._cond:
+            self.requests += 1
+            self._encoders.add(ident)
+            req = self._inflight.get(key)
+            if req is not None:
+                # In-flight dedup: the same (model, content) is pending or
+                # computing — wait for that single forward pass.
+                self.joins += 1
+                self._blocked.add(ident)
+                try:
+                    while not req.done:
+                        self._cond.wait(0.05)
+                finally:
+                    self._blocked.discard(ident)
+                joined = req
+            else:
+                req = _EncodeRequest(key, model, orig, images, tag, token,
+                                     fp, cache)
+                self._pending.append(req)
+                self._inflight[key] = req
+                self._blocked.add(ident)
+                deadline = time.monotonic() + self.window
+                try:
+                    while not req.done:
+                        if req.taken:
+                            # Another flusher owns the batch containing us.
+                            self._cond.wait(0.05)
+                            continue
+                        now = time.monotonic()
+                        if self._flush_due() or now >= deadline:
+                            batch = self._pending
+                            self._pending = []
+                            for r in batch:
+                                r.taken = True
+                            break
+                        self._cond.wait(min(self.window,
+                                            max(deadline - now, 1e-4)))
+                finally:
+                    self._blocked.discard(ident)
+        if joined is not None:
+            # Cache write-back outside the condition (it takes the cache
+            # lock and may copy a tensor; the rendezvous must never block
+            # on it), and only when the computing request couldn't reach
+            # this cache itself (e.g. its query ran with the cache off).
+            if joined.exc is not None:
+                raise joined.exc
+            if cache is not None and fp is not None \
+                    and joined.cache is not cache:
+                cache.encoded_put(token, fp, tag, device,
+                                  joined.result.detach())
+            return joined.result
+        if batch is not None:
+            self._run_batch(batch)
+        if req.exc is not None:
+            raise req.exc
+        return req.result
+
+    def _flush_due(self) -> bool:
+        # Flush once everyone who could still contribute a micro-batch is
+        # already waiting here (callers hold the condition).
+        return bool(self._pending) and self._encoders <= self._blocked
+
+    # ------------------------------------------------------------------
+    # Execution (outside the condition: numpy releases the GIL)
+    # ------------------------------------------------------------------
+    def _run_batch(self, batch: List[_EncodeRequest]) -> None:
+        # Counter deltas accumulate locally and publish under the condition
+        # at the end: two flushers can run concurrently (a second batch
+        # forms while the first computes), and unlocked `+=` would lose
+        # updates.
+        forwards = fused_forwards = fused_requests = 0
+        try:
+            groups: dict = {}
+            for req in batch:
+                shape = tuple(req.images.shape[1:]) if req.images.ndim else ()
+                groups.setdefault((req.token, str(req.images.device), shape),
+                                  []).append(req)
+            for group in groups.values():
+                if self.fuse and len(group) > 1:
+                    # One stacked forward: a failure here legitimately
+                    # poisons the whole group (it was one computation).
+                    try:
+                        stacked = ops.cat([r.images for r in group], dim=0)
+                        forwards += 1
+                        fused_forwards += 1
+                        fused_requests += len(group)
+                        out = group[0].orig(stacked)
+                        offset = 0
+                        for r in group:
+                            n = r.images.shape[0]
+                            r.result = out[offset:offset + n]
+                            offset += n
+                    except BaseException as exc:
+                        for r in group:
+                            r.exc = exc
+                else:
+                    # Independent forwards fail independently — one query's
+                    # bad encode must not fail its groupmates.
+                    for r in group:
+                        try:
+                            forwards += 1
+                            r.result = r.orig(r.images)
+                        except BaseException as exc:
+                            r.exc = exc
+            for req in batch:
+                if req.exc is None and req.cache is not None \
+                        and req.fp is not None:
+                    try:
+                        req.cache.encoded_put(req.token, req.fp, req.tag,
+                                              str(req.images.device),
+                                              req.result.detach())
+                    except BaseException as exc:
+                        req.exc = exc
+        finally:
+            # Publish in a finally: if anything above raised, waiters must
+            # still be released (with the exception set) rather than spin
+            # forever on req.done.
+            with self._cond:
+                self.forwards += forwards
+                self.fused_forwards += fused_forwards
+                self.fused_requests += fused_requests
+                for req in batch:
+                    if req.exc is None and req.result is None:
+                        req.exc = RuntimeError(
+                            "inference batch aborted before this request ran")
+                    req.done = True
+                    self._inflight.pop(req.key, None)
+                self._cond.notify_all()
+
+    @property
+    def stats(self) -> dict:
+        with self._cond:
+            return {
+                "requests": self.requests, "joins": self.joins,
+                "forwards": self.forwards,
+                "fused_forwards": self.fused_forwards,
+                "fused_requests": self.fused_requests,
+            }
+
+
+class _Job:
+    __slots__ = ("statement", "device", "extra_config", "toPandas", "future",
+                 "key", "stamp", "followers")
+
+    def __init__(self, statement, device, extra_config, toPandas, future, key):
+        self.statement = statement
+        self.device = device
+        self.extra_config = extra_config
+        self.toPandas = toPandas
+        self.future = future
+        self.key = key
+        self.stamp = None
+        self.followers: List[Future] = []
+
+
+_STOP = object()
+
+
+class QueryScheduler:
+    """Worker pool serving one session's statements concurrently.
+
+    ``submit`` returns a ``concurrent.futures.Future``; ``shutdown`` drains
+    the pool. Statements run through the ordinary ``Session.compile_query``
+    → ``CompiledQuery.run`` path (plan cache, tensor cache, locks), so a
+    scheduled statement's result is the result serialized execution would
+    produce.
+    """
+
+    def __init__(self, session, workers: int = 4, coalesce: bool = True,
+                 batch_inference: bool = True, fuse_batches: bool = False,
+                 batch_window: float = 0.002):
+        self.session = session
+        self.workers = max(1, int(workers))
+        self.coalesce = bool(coalesce)
+        self.batcher = (InferenceBatcher(window=batch_window, fuse=fuse_batches)
+                        if batch_inference else None)
+        self._queue: SimpleQueue = SimpleQueue()
+        self._lock = threading.Lock()
+        self._inflight: dict = {}
+        self.closed = False
+        self.executed = 0
+        self.coalesced = 0
+        self._threads = [
+            threading.Thread(target=self._worker, daemon=True,
+                             name=f"tdp-serve-{i}")
+            for i in range(self.workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, statement: str, device: str = "cpu",
+               extra_config: Optional[Mapping[str, object]] = None,
+               toPandas: bool = False) -> Future:
+        config = QueryConfig(extra_config)   # validate at submission time
+        key = None
+        # toPandas results are mutable DataFrames a client may edit in
+        # place: those never coalesce (each caller gets its own run), so
+        # serving stays observably equivalent to serialized execution.
+        if self.coalesce and not config.trainable and not toPandas \
+                and not _ddl_statement(statement):
+            key = (statement, str(as_device(device)), config.fingerprint())
+        future: Future = Future()
+        # Enqueue under the lock: shutdown() flips `closed` and appends the
+        # stop sentinels under the same lock, so a job can never land behind
+        # the sentinels with its future left to hang forever.
+        with self._lock:
+            if self.closed:
+                raise RuntimeError("scheduler is shut down")
+            self._queue.put(_Job(statement, device, extra_config, toPandas,
+                                 future, key))
+        return future
+
+    def map(self, statements: Sequence[str], device: str = "cpu",
+            extra_config: Optional[Mapping[str, object]] = None,
+            toPandas: bool = False) -> List[object]:
+        """Submit a batch and collect results in submission order."""
+        futures = [self.submit(s, device=device, extra_config=extra_config,
+                               toPandas=toPandas) for s in statements]
+        return [f.result() for f in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            for _ in self._threads:
+                self._queue.put(_STOP)
+        if wait:
+            for thread in self._threads:
+                thread.join()
+
+    @property
+    def stats(self) -> dict:
+        out = {"executed": self.executed, "coalesced": self.coalesced,
+               "workers": self.workers}
+        if self.batcher is not None:
+            out["batcher"] = self.batcher.stats
+        return out
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+    def _version_stamp(self) -> tuple:
+        session = self.session
+        return (session.catalog.version, session.functions.version,
+                session.indexes.epoch)
+
+    def _worker(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is _STOP:
+                return
+            self._run_job(job)
+
+    def _run_job(self, job: _Job) -> None:
+        if not job.future.set_running_or_notify_cancel():
+            return
+        if job.key is not None:
+            with self._lock:
+                leader = self._inflight.get(job.key)
+                if leader is not None and leader.stamp == self._version_stamp():
+                    # Coalesce: ride the in-flight execution. The follower
+                    # receives the leader's result object, exactly as a
+                    # second serialized run would receive an equal result.
+                    leader.followers.append(job.future)
+                    self.coalesced += 1
+                    return
+                job.stamp = self._version_stamp()
+                self._inflight[job.key] = job
+        try:
+            result = self._execute(job)
+        except BaseException as exc:
+            self._finish(job, None, exc)
+        else:
+            self._finish(job, result, None)
+
+    def _execute(self, job: _Job):
+        scope = (tc.batching(self.batcher) if self.batcher is not None
+                 else contextlib.nullcontext())
+        try:
+            with scope:
+                query = self.session.compile_query(
+                    job.statement, device=job.device,
+                    extra_config=job.extra_config)
+                return query.run(toPandas=job.toPandas)
+        finally:
+            if self.batcher is not None:
+                self.batcher.statement_finished()
+
+    def _finish(self, job: _Job, result, exc) -> None:
+        followers: List[Future] = []
+        with self._lock:
+            if job.key is not None and self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+            followers = job.followers
+            self.executed += 1
+        for future in (job.future, *followers):
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+
+def _ddl_statement(statement: str) -> bool:
+    from repro.core.session import _DDL_PREFIX
+    return _DDL_PREFIX.match(statement) is not None

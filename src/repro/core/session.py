@@ -9,12 +9,12 @@
 from __future__ import annotations
 
 import re
+import threading
 from collections import OrderedDict
 from typing import Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import CatalogError
 from repro.core.compiled_query import CompiledQuery
 from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig, constants
@@ -29,7 +29,7 @@ from repro.storage.catalog import Catalog
 from repro.storage.frame import DataFrame
 from repro.storage.table import Table
 from repro.tcr.device import as_device
-from repro.tcr.tensor import Tensor, ensure_tensor
+from repro.tcr.tensor import ensure_tensor
 
 
 class PlanCache:
@@ -45,34 +45,44 @@ class PlanCache:
     def __init__(self, maxsize: int = 128):
         self.maxsize = maxsize
         self._entries: "OrderedDict[tuple, CompiledQuery]" = OrderedDict()
+        # Guards entries AND the hit/miss counters: counts are bumped inside
+        # the same critical section as the lookup they describe, so
+        # concurrent workers can never tear the LRU order or misreport
+        # stats (hits + misses always equals the number of lookups).
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: tuple) -> Optional[CompiledQuery]:
-        query = self._entries.get(key)
-        if query is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return query
+        with self._lock:
+            query = self._entries.get(key)
+            if query is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return query
 
     def put(self, key: tuple, query: CompiledQuery) -> None:
-        self._entries[key] = query
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.maxsize:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = query
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "size": len(self._entries),
-                "maxsize": self.maxsize}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "size": len(self._entries), "maxsize": self.maxsize}
 
 
 class SparkNamespace:
@@ -170,6 +180,10 @@ class Session:
         self.constants = constants
         self.udf = make_udf_decorator(self.functions)
         self.plan_cache = PlanCache(plan_cache_size)
+        # Default scheduler for Session.submit (created lazily; Session.serve
+        # spins up a dedicated pool per call instead).
+        self._scheduler = None
+        self._scheduler_lock = threading.Lock()
 
     def compile_query(self, statement: str, device: str = "cpu",
                       extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
@@ -246,8 +260,60 @@ class Session:
         with shared_scans():
             return [query.run(toPandas=toPandas) for query in queries]
 
+    # ------------------------------------------------------------------
+    # Concurrent serving (the PR 4 scheduler subsystem)
+    # ------------------------------------------------------------------
+    def submit(self, statement: str, device: str = "cpu",
+               extra_config: Optional[Mapping[str, object]] = None,
+               toPandas: bool = False):
+        """Submit one statement to the session's worker pool.
+
+        Returns a ``concurrent.futures.Future`` resolving to the same value
+        ``compile_query(...).run(...)`` would produce. The pool is created
+        lazily on first use and shared by all ``submit`` calls; identical
+        in-flight statements coalesce into one execution and concurrent
+        queries' encoder micro-batches are served by the pool's inference
+        batcher (see :mod:`repro.core.scheduler`).
+        """
+        from repro.core.scheduler import QueryScheduler
+        with self._scheduler_lock:
+            if self._scheduler is None or self._scheduler.closed:
+                self._scheduler = QueryScheduler(self)
+            scheduler = self._scheduler
+        return scheduler.submit(statement, device=device,
+                                extra_config=extra_config, toPandas=toPandas)
+
+    def serve(self, statements: Sequence[str], workers: int = 4,
+              device: str = "cpu",
+              extra_config: Optional[Mapping[str, object]] = None,
+              toPandas: bool = False, coalesce: bool = True,
+              batch_inference: bool = True) -> List[object]:
+        """Serve a batch of statements on ``workers`` concurrent threads.
+
+        Results come back in submission order (exceptions re-raise in
+        order). Semantically equivalent to running the statements one by
+        one; throughput comes from in-flight coalescing of identical
+        statements and cross-query inference batching, both of which
+        preserve each statement's results.
+        """
+        from repro.core.scheduler import QueryScheduler
+        scheduler = QueryScheduler(self, workers=workers, coalesce=coalesce,
+                                   batch_inference=batch_inference)
+        try:
+            futures = [scheduler.submit(s, device=device,
+                                        extra_config=extra_config,
+                                        toPandas=toPandas)
+                       for s in statements]
+            return [f.result() for f in futures]
+        finally:
+            scheduler.shutdown()
+
     def reset(self) -> None:
         """Drop all registered tables, functions and indexes (test isolation)."""
+        with self._scheduler_lock:
+            if self._scheduler is not None:
+                self._scheduler.shutdown()
+                self._scheduler = None
         self.catalog.clear()
         self.functions.clear()
         self.indexes.clear()

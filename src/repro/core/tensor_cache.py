@@ -53,7 +53,9 @@ invocations (plus models left in ``train()`` mode) always bypass it.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import hashlib
+import threading
 from collections import OrderedDict
 from typing import List, Optional, Sequence
 
@@ -68,14 +70,39 @@ DEFAULT_TENSOR_CACHE_BYTES = 256 * 1024 * 1024
 
 # The active cache (None outside a query run / index build). Mirrors the
 # shared-scan memo: plumbing a session handle through every operator would
-# touch each evaluator constructor; a scoped global keeps the engine layers
-# decoupled while activation stays owned by CompiledQuery.run().
-_ACTIVE: Optional["TensorCache"] = None
+# touch each evaluator constructor; a scoped variable keeps the engine layers
+# decoupled while activation stays owned by CompiledQuery.run(). A
+# ContextVar (not a module global) so concurrent scheduler workers each see
+# only the activation of the query *they* are running.
+_ACTIVE: "contextvars.ContextVar[Optional[TensorCache]]" = contextvars.ContextVar(
+    "tdp_active_tensor_cache", default=None)
+
+# The active cross-query inference batcher (set by scheduler workers for the
+# duration of one statement execution; see repro.core.scheduler). Lives here
+# rather than in scheduler.py because the encoder memo below is its
+# interception point and must not import the scheduler.
+_BATCHER: "contextvars.ContextVar[Optional[object]]" = contextvars.ContextVar(
+    "tdp_active_inference_batcher", default=None)
 
 
 def active() -> Optional["TensorCache"]:
     """The cache activated by the currently running query, if any."""
-    return _ACTIVE
+    return _ACTIVE.get()
+
+
+def active_batcher() -> Optional[object]:
+    """The inference batcher installed by the scheduler worker, if any."""
+    return _BATCHER.get()
+
+
+@contextlib.contextmanager
+def batching(batcher) -> object:
+    """Route this thread's encoder micro-batches through ``batcher``."""
+    token = _BATCHER.set(batcher)
+    try:
+        yield batcher
+    finally:
+        _BATCHER.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -157,22 +184,45 @@ def slice_tag(parent: CacheTag, start: int, stop: int) -> CacheTag:
     return CacheTag(parent.base, (parent.rows_fp, start, stop), rows)
 
 
+_TAG_LOCK = threading.Lock()
+
+
 def tag_tensor(tensor, tag: CacheTag) -> None:
-    """Attach a content tag to a tensor about to flow into user code."""
-    try:
-        tensor._cache_tag = tag
-    except AttributeError:
-        pass
+    """Attach a content tag to a tensor about to flow into user code.
+
+    Tags are refcounted: concurrent queries evaluating UDFs over the same
+    *shared* base-column tensor tag it with identical content identity, and
+    each invocation's cleanup must only release its own reference — a plain
+    set/del would let the first query to finish strip the tag out from
+    under another query mid-flight (silently disabling the encoder memo and
+    the inference batcher for it).
+    """
+    with _TAG_LOCK:
+        try:
+            if getattr(tensor, "_cache_tag", None) is None:
+                tensor._cache_tag = tag
+                tensor._cache_tag_refs = 1
+            else:
+                tensor._cache_tag_refs = getattr(tensor, "_cache_tag_refs", 1) + 1
+        except AttributeError:
+            pass
 
 
 def untag_tensor(tensor) -> None:
-    """Remove a content tag (tags are scoped to one cache-eligible UDF
-    invocation — stale tags must not engage encoder memos for callers that
-    did not opt in)."""
-    try:
-        del tensor._cache_tag
-    except AttributeError:
-        pass
+    """Release one reference to a tensor's content tag (tags are scoped to
+    one cache-eligible UDF invocation — stale tags must not engage encoder
+    memos for callers that did not opt in)."""
+    with _TAG_LOCK:
+        refs = getattr(tensor, "_cache_tag_refs", 1)
+        try:
+            if refs > 1:
+                tensor._cache_tag_refs = refs - 1
+            else:
+                del tensor._cache_tag
+                if hasattr(tensor, "_cache_tag_refs"):
+                    del tensor._cache_tag_refs
+        except AttributeError:
+            pass
 
 
 # ----------------------------------------------------------------------
@@ -193,6 +243,13 @@ class TensorCache:
         self.max_bytes = int(max_bytes)
         self._entries: "OrderedDict[tuple, _Entry]" = OrderedDict()
         self._model_fps: dict = {}
+        # One re-entrant lock guards entries, byte accounting, the
+        # fingerprint memo AND the stat counters: hit/miss counts are bumped
+        # under the same critical section as the lookup they describe, so
+        # concurrent readers can never tear or misreport them. Leaf lock in
+        # the engine's ordering — nothing else is acquired while held.
+        self._lock = threading.RLock()
+        self._activations = 0
         self.current_bytes = 0
         self.hits = 0
         self.misses = 0
@@ -206,45 +263,57 @@ class TensorCache:
     @contextlib.contextmanager
     def activate(self):
         """Make this cache visible to the expression evaluator and encoder
-        memos for the duration of one query run."""
-        global _ACTIVE
-        previous = _ACTIVE
-        _ACTIVE = self
+        memos for the duration of one query run (this thread only)."""
+        token = _ACTIVE.set(self)
         # Weight fingerprints are memoised per activation (per statement):
         # cheap enough to recompute between statements, which is exactly the
-        # granularity at which a training loop can mutate weights.
-        self._model_fps.clear()
+        # granularity at which a training loop can mutate weights. Under
+        # concurrent serving, the memo is cleared when the *first* of the
+        # overlapping activations begins — in-place weight mutation while
+        # statements are in flight is outside the cache's contract (models
+        # being trained must be in train() mode, which bypasses it).
+        with self._lock:
+            self._activations += 1
+            if self._activations == 1:
+                self._model_fps.clear()
         try:
             yield self
         finally:
-            _ACTIVE = previous
+            with self._lock:
+                self._activations -= 1
+            _ACTIVE.reset(token)
 
     def model_state_fp(self, model) -> str:
-        if _ACTIVE is not self:
+        if _ACTIVE.get() is not self:
             return state_fingerprint([model])
         token = identity_token(model)
-        fp = self._model_fps.get(token)
+        with self._lock:
+            fp = self._model_fps.get(token)
         if fp is None:
             fp = state_fingerprint([model])
-            self._model_fps[token] = fp
+            with self._lock:
+                self._model_fps[token] = fp
         return fp
 
     def udf_state_fp(self, udf) -> str:
         """Per-activation memo of a UDF's combined module fingerprint (the
         warm path must not re-hash model weights on every call site)."""
-        if _ACTIVE is not self:
+        if _ACTIVE.get() is not self:
             return state_fingerprint(udf.modules)
         token = ("udf", identity_token(udf))
-        fp = self._model_fps.get(token)
+        with self._lock:
+            fp = self._model_fps.get(token)
         if fp is None:
             fp = state_fingerprint(udf.modules)
-            self._model_fps[token] = fp
+            with self._lock:
+                self._model_fps[token] = fp
         return fp
 
     # ------------------------------------------------------------------
     # Core LRU mechanics
     # ------------------------------------------------------------------
     def _touch(self, key: tuple) -> Optional[_Entry]:
+        # Callers hold self._lock.
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -254,52 +323,67 @@ class TensorCache:
         nbytes = int(nbytes)
         if self.max_bytes <= 0 or nbytes > self.max_bytes:
             return
-        old = self._entries.pop(key, None)
-        if old is not None:
-            self.current_bytes -= old.nbytes
-        self._entries[key] = _Entry(value, nbytes)
-        self.current_bytes += nbytes
-        self.inserts += 1
-        while self.current_bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
-            self.current_bytes -= evicted.nbytes
-            self.evictions += 1
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.current_bytes -= old.nbytes
+            self._entries[key] = _Entry(value, nbytes)
+            self.current_bytes += nbytes
+            self.inserts += 1
+            while self.current_bytes > self.max_bytes and self._entries:
+                _, evicted = self._entries.popitem(last=False)
+                self.current_bytes -= evicted.nbytes
+                self.evictions += 1
 
     def clear(self) -> None:
-        self._entries.clear()
-        self._model_fps.clear()
-        self.current_bytes = 0
+        with self._lock:
+            self._entries.clear()
+            self._model_fps.clear()
+            self.current_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def stats(self) -> dict:
-        return {
-            "hits": self.hits, "misses": self.misses,
-            "gather_hits": self.gather_hits, "inserts": self.inserts,
-            "evictions": self.evictions, "entries": len(self._entries),
-            "bytes": self.current_bytes, "max_bytes": self.max_bytes,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits, "misses": self.misses,
+                "gather_hits": self.gather_hits, "inserts": self.inserts,
+                "evictions": self.evictions, "entries": len(self._entries),
+                "bytes": self.current_bytes, "max_bytes": self.max_bytes,
+            }
 
     # ------------------------------------------------------------------
     # UDF output entries
     # ------------------------------------------------------------------
     def udf_get(self, key: tuple, full_key: Optional[tuple],
                 rows: Optional[np.ndarray]) -> Optional[List[Column]]:
-        """Exact hit, or a row gather from a cached full-column entry."""
-        entry = self._touch(key)
-        if entry is not None:
-            self.hits += 1
-            return entry.value
-        if full_key is not None and rows is not None:
-            full = self._touch(full_key)
-            if full is not None and full.value:
-                n = full.value[0].num_rows
-                if rows.size == 0 or int(rows.max()) < n:
-                    self.gather_hits += 1
-                    return [col.take(rows) for col in full.value]
-        self.misses += 1
+        """Exact hit, or a row gather from a cached full-column entry.
+
+        The gather itself (a potentially large copy) happens after the lock
+        is released: entry values are immutable, so capturing the reference
+        under the lock is enough, and concurrent workers' lookups must not
+        serialize behind another worker's copy.
+        """
+        full_value = None
+        with self._lock:
+            entry = self._touch(key)
+            if entry is not None:
+                self.hits += 1
+                return entry.value
+            if full_key is not None and rows is not None:
+                full = self._touch(full_key)
+                if full is not None and full.value:
+                    n = full.value[0].num_rows
+                    if rows.size == 0 or int(rows.max()) < n:
+                        self.gather_hits += 1
+                        full_value = full.value
+            if full_value is None:
+                self.misses += 1
+        if full_value is not None:
+            return [col.take(rows) for col in full_value]
         return None
 
     def udf_put(self, key: tuple, columns: Sequence[Column]) -> None:
@@ -317,26 +401,40 @@ class TensorCache:
         parameterless encoders follow it, so entries are per-device (like
         UDF-output keys)."""
         key = ("enc", model_token, model_fp, device, tag.base, tag.rows_fp)
-        entry = self._touch(key)
-        if entry is not None:
-            self.hits += 1
-            return entry.value
-        if tag.rows_fp is not None:
-            full = self._touch(("enc", model_token, model_fp, device,
-                                tag.base, None))
-            if full is not None and tag.rows is not None:
-                value = full.value
-                rows = tag.rows
-                if rows.size == 0 or int(rows.max()) < value.shape[0]:
-                    self.gather_hits += 1
-                    return ops.getitem(value, rows)
-        else:
-            assembled = self._assemble_encoded(model_token, model_fp, tag,
-                                               num_rows, device)
+        full_value = None
+        pieces = None
+        with self._lock:
+            entry = self._touch(key)
+            if entry is not None:
+                self.hits += 1
+                return entry.value
+            if tag.rows_fp is not None:
+                full = self._touch(("enc", model_token, model_fp, device,
+                                    tag.base, None))
+                if full is not None and tag.rows is not None:
+                    rows = tag.rows
+                    if rows.size == 0 or int(rows.max()) < full.value.shape[0]:
+                        self.gather_hits += 1
+                        full_value = full.value
+            else:
+                pieces = self._slice_pieces(model_token, model_fp, tag, device)
+            if full_value is None and not pieces:
+                self.misses += 1
+        # Copies happen outside the lock: entry tensors are immutable, so a
+        # captured reference stays valid, and other workers' lookups must
+        # not serialize behind this worker's gather/assembly.
+        if full_value is not None:
+            return ops.getitem(full_value, tag.rows)
+        if pieces:
+            assembled = self._assemble_encoded(pieces, num_rows)
             if assembled is not None:
-                self.gather_hits += 1
+                self.put(("enc", model_token, model_fp, device, tag.base,
+                          None), assembled, assembled.data.nbytes)
+                with self._lock:
+                    self.gather_hits += 1
                 return assembled
-        self.misses += 1
+            with self._lock:
+                self.misses += 1
         return None
 
     def encoded_put(self, model_token: int, model_fp: str, tag: CacheTag,
@@ -344,11 +442,10 @@ class TensorCache:
         key = ("enc", model_token, model_fp, device, tag.base, tag.rows_fp)
         self.put(key, value, value.data.nbytes)
 
-    def _assemble_encoded(self, model_token: int, model_fp: str,
-                          tag: CacheTag, num_rows: int,
-                          device: str) -> Optional[Tensor]:
-        """Stitch a full-column embedding from contiguous slice entries
-        captured during a micro-batched UDF pass."""
+    def _slice_pieces(self, model_token: int, model_fp: str, tag: CacheTag,
+                      device: str) -> list:
+        """Collect micro-batch slice entries for one base column (callers
+        hold the lock; values are captured by reference, copied later)."""
         pieces = []
         for key, entry in self._entries.items():
             if (len(key) == 6 and key[0] == "enc" and key[1] == model_token
@@ -357,9 +454,14 @@ class TensorCache:
                 rf = key[5]
                 if isinstance(rf, tuple) and len(rf) == 3 and rf[0] is None:
                     pieces.append((rf[1], rf[2], entry.value))
-        if not pieces:
-            return None
-        pieces.sort(key=lambda p: (p[0], p[1]))
+        return pieces
+
+    @staticmethod
+    def _assemble_encoded(pieces: list, num_rows: int) -> Optional[Tensor]:
+        """Stitch a full-column embedding from contiguous slice entries
+        captured during a micro-batched UDF pass (runs outside the lock —
+        the concatenation is a large copy)."""
+        pieces = sorted(pieces, key=lambda p: (p[0], p[1]))
         cover, chunks = 0, []
         for start, stop, value in pieces:
             if start == cover and stop > start:
@@ -372,10 +474,7 @@ class TensorCache:
         if cover != num_rows or not chunks:
             return None
         data = np.concatenate([np.asarray(c.data) for c in chunks], axis=0)
-        out = Tensor(data, device=chunks[0].device)
-        self.put(("enc", model_token, model_fp, device, tag.base, None), out,
-                 data.nbytes)
-        return out
+        return Tensor(data, device=chunks[0].device)
 
 
 # ----------------------------------------------------------------------
@@ -396,20 +495,30 @@ def install_encoder_memo(model) -> None:
     orig = current
 
     def encode_image(images):
-        cache = _ACTIVE
-        if (cache is None or cache.max_bytes <= 0 or is_grad_enabled()
+        cache = _ACTIVE.get()
+        if cache is not None and cache.max_bytes <= 0:
+            cache = None
+        batcher = _BATCHER.get()
+        if ((cache is None and batcher is None) or is_grad_enabled()
                 or getattr(model, "training", False)):
             return orig(images)
         tag = getattr(images, "_cache_tag", None)
         if tag is None:
             return orig(images)
         token = identity_token(model)
-        fp = cache.model_state_fp(model)
+        fp = cache.model_state_fp(model) if cache is not None else None
         num_rows = images.shape[0] if images.ndim else 1
         device = str(images.device)
-        hit = cache.encoded_get(token, fp, tag, num_rows, device)
-        if hit is not None:
-            return hit
+        if cache is not None:
+            hit = cache.encoded_get(token, fp, tag, num_rows, device)
+            if hit is not None:
+                return hit
+        if batcher is not None:
+            # Cross-query path: identical in-flight micro-batches coalesce
+            # into one forward pass; the batcher scatters results back
+            # through this cache's per-slice keys (and those of the other
+            # waiting queries' caches).
+            return batcher.encode(model, orig, images, tag, token, fp, cache)
         out = orig(images)
         cache.encoded_put(token, fp, tag, device, out.detach())
         return out

@@ -11,7 +11,7 @@ parameters to the query (discovered automatically for
 from __future__ import annotations
 
 import dataclasses
-import inspect
+import threading
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import UdfError
@@ -134,39 +134,50 @@ class UdfInfo:
 
 
 class FunctionRegistry:
-    """Session-scoped registry the binder resolves function names against."""
+    """Session-scoped registry the binder resolves function names against.
+
+    Thread-safe: registration (including the version stamp and the encoder
+    memo install) happens under a re-entrant lock, so concurrent
+    re-registration can neither tear the version counter nor double-wrap a
+    model's ``encode_image``.
+    """
 
     def __init__(self):
         self._functions: Dict[str, UdfInfo] = {}
+        self._lock = threading.RLock()
         # Monotonic change counter mirroring Catalog.version: registering or
         # replacing a UDF invalidates cached plans that may reference it.
         self.version = 0
 
     def register(self, info: UdfInfo, replace: bool = True) -> None:
         key = info.name.lower()
-        if not replace and key in self._functions:
-            raise UdfError(f"function {info.name!r} already registered")
-        self._functions[key] = info
-        self.version += 1
-        info.version = self.version
-        if info.deterministic:
-            # Two-tower models behind deterministic UDFs get a cache-aware
-            # encode_image memo, so query-time evaluation and index builds
-            # share corpus embeddings (see repro.core.tensor_cache).
-            from repro.core.tensor_cache import install_encoder_memo
-            for module in info.modules:
-                if hasattr(module, "encode_image"):
-                    install_encoder_memo(module)
+        with self._lock:
+            if not replace and key in self._functions:
+                raise UdfError(f"function {info.name!r} already registered")
+            self._functions[key] = info
+            self.version += 1
+            info.version = self.version
+            if info.deterministic:
+                # Two-tower models behind deterministic UDFs get a cache-aware
+                # encode_image memo, so query-time evaluation and index builds
+                # share corpus embeddings (see repro.core.tensor_cache).
+                from repro.core.tensor_cache import install_encoder_memo
+                for module in info.modules:
+                    if hasattr(module, "encode_image"):
+                        install_encoder_memo(module)
 
     def lookup(self, name: str) -> Optional[UdfInfo]:
-        return self._functions.get(name.lower())
+        with self._lock:
+            return self._functions.get(name.lower())
 
     def names(self) -> List[str]:
-        return sorted(self._functions)
+        with self._lock:
+            return sorted(self._functions)
 
     def clear(self) -> None:
-        self._functions.clear()
-        self.version += 1
+        with self._lock:
+            self._functions.clear()
+            self.version += 1
 
 
 def make_udf_decorator(registry: FunctionRegistry):

@@ -149,7 +149,8 @@ class JoinPlan(LogicalPlan):
         return dataclasses.replace(self, left=children[0], right=children[1])
 
     def describe(self):
-        keys = ", ".join(f"{l}={r}" for l, r in zip(self.left_keys, self.right_keys))
+        keys = ", ".join(f"{lk}={rk}"
+                         for lk, rk in zip(self.left_keys, self.right_keys))
         return f"Join({self.kind}, on=[{keys}])"
 
 

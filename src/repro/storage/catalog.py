@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List
 
 from repro.errors import CatalogError
@@ -11,44 +12,59 @@ from repro.storage.table import Table
 class Catalog:
     """Case-insensitive table registry (re-registration replaces, which the
     paper's training loop relies on when it re-registers ``MNIST_Grid`` each
-    iteration)."""
+    iteration).
+
+    Thread-safe: a re-entrant lock guards the name maps and the version
+    counter, so concurrent ``register``/``drop``/``get`` calls from scheduler
+    workers can never tear the registry or skip a version bump. Tables
+    themselves are immutable, so a ``get`` that races a ``register`` returns
+    either the old or the new snapshot — never a mix.
+    """
 
     def __init__(self):
         self._tables: Dict[str, Table] = {}
         self._display: Dict[str, str] = {}
+        self._lock = threading.RLock()
         # Monotonic change counter: plan caches key on it so any
         # register/drop/clear invalidates every cached plan.
         self.version = 0
 
     def register(self, name: str, table: Table, replace: bool = True) -> None:
         key = name.lower()
-        if not replace and key in self._tables:
-            raise CatalogError(f"table {name!r} already registered")
-        self._tables[key] = table
-        self._display[key] = name
-        self.version += 1
+        with self._lock:
+            if not replace and key in self._tables:
+                raise CatalogError(f"table {name!r} already registered")
+            self._tables[key] = table
+            self._display[key] = name
+            self.version += 1
 
     def get(self, name: str) -> Table:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"unknown table {name!r}; registered: {self.names()}")
-        return self._tables[key]
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(
+                    f"unknown table {name!r}; registered: {self.names()}")
+            return self._tables[key]
 
     def drop(self, name: str) -> None:
         key = name.lower()
-        if key not in self._tables:
-            raise CatalogError(f"cannot drop unknown table {name!r}")
-        del self._tables[key]
-        del self._display[key]
-        self.version += 1
+        with self._lock:
+            if key not in self._tables:
+                raise CatalogError(f"cannot drop unknown table {name!r}")
+            del self._tables[key]
+            del self._display[key]
+            self.version += 1
 
     def names(self) -> List[str]:
-        return [self._display[k] for k in self._tables]
+        with self._lock:
+            return [self._display[k] for k in self._tables]
 
     def __contains__(self, name: str) -> bool:
-        return name.lower() in self._tables
+        with self._lock:
+            return name.lower() in self._tables
 
     def clear(self) -> None:
-        self._tables.clear()
-        self._display.clear()
-        self.version += 1
+        with self._lock:
+            self._tables.clear()
+            self._display.clear()
+            self.version += 1

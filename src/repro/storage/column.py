@@ -8,6 +8,7 @@ row), 3-d (grayscale images) and 4-d (RGB images) columns.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -31,20 +32,26 @@ from repro.tcr.tensor import Tensor, ensure_tensor
 # garbage collection). Tokens are assigned lazily on first use and live on
 # the object itself, so a token is never reused for different data.
 _IDENTITY_COUNTER = itertools.count(1)
+_IDENTITY_LOCK = threading.Lock()
 
 
 def identity_token(obj) -> Optional[int]:
     """Get-or-assign a process-unique identity token on ``obj``.
 
-    Returns None for objects that cannot carry attributes.
+    Returns None for objects that cannot carry attributes. Assignment is
+    locked so two threads first-touching the same tensor agree on one token
+    (an overwrite race would orphan cache entries keyed under the loser).
     """
     token = getattr(obj, "_cache_token", None)
     if token is None:
-        token = next(_IDENTITY_COUNTER)
-        try:
-            obj._cache_token = token
-        except AttributeError:
-            return None
+        with _IDENTITY_LOCK:
+            token = getattr(obj, "_cache_token", None)
+            if token is None:
+                token = next(_IDENTITY_COUNTER)
+                try:
+                    obj._cache_token = token
+                except AttributeError:
+                    return None
     return token
 
 

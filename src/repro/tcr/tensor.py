@@ -31,7 +31,9 @@ class Tensor:
     __slots__ = ("data", "requires_grad", "grad", "device", "_parents", "_backward", "_op",
                  # Lazily-assigned content-identity metadata for the engine's
                  # materialization cache (see repro.core.tensor_cache).
-                 "_cache_token", "_cache_tag")
+                 # _cache_tag_refs counts concurrent queries sharing one
+                 # in-flight tag on a shared base-column tensor.
+                 "_cache_token", "_cache_tag", "_cache_tag_refs")
 
     def __init__(self, data, requires_grad: bool = False, device=None, dtype=None):
         array = np.asarray(data)

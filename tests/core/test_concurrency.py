@@ -1,0 +1,498 @@
+"""Concurrent query serving: thread-safety of the engine core, the
+scheduler/inference-batcher subsystem, and a randomized stress test over
+query/DDL/UDF-re-registration interleavings (the PR 4 tentpole)."""
+
+import os
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import tensor_cache as tc
+from repro.core.scheduler import InferenceBatcher, QueryScheduler
+from repro.core.session import Session
+from repro.storage.column import Column
+from repro.tcr import nn
+from repro.tcr.tensor import Tensor
+
+
+def _scaled(value: int, minimum: int = 1) -> int:
+    scale = float(os.environ.get("REPRO_BENCH_SCALE", "1"))
+    return max(int(round(value * scale)), minimum)
+
+
+def _run_threads(n, target):
+    """Start n threads on target(i), join them, re-raise the first error."""
+    errors = []
+
+    def wrapped(i):
+        try:
+            target(i)
+        except BaseException as exc:   # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrapped, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "worker thread deadlocked"
+    if errors:
+        raise errors[0]
+    return errors
+
+
+def _numeric_session(rows: int = 64) -> Session:
+    session = Session()
+    rng = np.random.default_rng(7)
+    session.sql.register_dict(
+        {"k": np.arange(rows, dtype=np.int64) % 8,
+         "v": rng.normal(size=rows).astype(np.float32),
+         "vec": rng.normal(size=(rows, 8)).astype(np.float32)},
+        "t",
+    )
+    scale = nn.Linear(1, 1)
+
+    @session.udf("float", name="affine", modules=[scale])
+    def affine(v: Tensor) -> Tensor:
+        return scale(v.reshape(-1, 1)).reshape(-1)
+
+    return session
+
+
+QUERIES = [
+    "SELECT COUNT(*) FROM t WHERE v > 0",
+    "SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k",
+    "SELECT k FROM t WHERE affine(v) > 0 ORDER BY k LIMIT 5",
+    "SELECT SUM(v) FROM t",
+    "SELECT k, v FROM t WHERE k = 3 ORDER BY v LIMIT 4",
+]
+
+
+def _snapshot(result):
+    return {name: result.column(name).tolist() for name in result.column_names}
+
+
+class TestParallelQueries:
+    def test_parallel_queries_match_serial(self):
+        """8 threads hammering one session produce the serial results."""
+        session = _numeric_session()
+        expected = [_snapshot(session.sql.query(q).run()) for q in QUERIES]
+        outcomes = [[None] * len(QUERIES) for _ in range(8)]
+
+        def worker(i):
+            order = list(range(len(QUERIES)))
+            if i % 2:
+                order.reverse()
+            for j in order:
+                outcomes[i][j] = _snapshot(session.sql.query(QUERIES[j]).run())
+
+        _run_threads(8, worker)
+        for per_thread in outcomes:
+            assert per_thread == expected
+
+    def test_parallel_execute_many_shared_scans_isolated(self):
+        """Concurrent execute_many batches keep private scan memos."""
+        session = _numeric_session()
+        expected = session.sql.query("SELECT SUM(v) FROM t").run().scalar()
+        results = [None] * 6
+
+        def worker(i):
+            batch = session.execute_many(
+                ["SELECT SUM(v) FROM t", "SELECT COUNT(*) FROM t"])
+            results[i] = (batch[0].scalar(), batch[1].scalar())
+
+        _run_threads(6, worker)
+        assert all(r == (expected, 64) for r in results)
+
+    def test_scan_memo_is_context_local(self):
+        from repro.core.operators.scan import _SCAN_MEMO, shared_scans
+        seen = {}
+        with shared_scans():
+            assert _SCAN_MEMO.get() is not None
+
+            def peek(_):
+                seen["inner"] = _SCAN_MEMO.get()
+
+            _run_threads(1, peek)
+        assert seen["inner"] is None      # other threads never see our memo
+        assert _SCAN_MEMO.get() is None   # and ours is restored
+
+
+class TestIndexBuildOnce:
+    def test_concurrent_lazy_build_embeds_once(self):
+        """N concurrent probes of an unbuilt index embed the corpus once."""
+        session = _numeric_session()
+        calls = []
+
+        def embedder(tensor):
+            calls.append(1)
+            time.sleep(0.01)     # widen the race window
+            return np.asarray(tensor.data, dtype=np.float32)
+
+        session.create_vector_index("ivf", "t", "vec", cells=4, nprobe=4,
+                                    embedder=embedder)
+        entry = session.indexes.lookup("ivf")
+        query = np.zeros(8, dtype=np.float32)
+
+        def worker(_):
+            ids, _scores = session.indexes.search("ivf", query, k=3)
+            assert len(ids) == 3
+
+        _run_threads(8, worker)
+        assert sum(calls) == 1
+        assert entry.build_count == 1
+
+    def test_stale_rebuild_still_builds_once(self):
+        session = _numeric_session()
+        calls = []
+        session.create_vector_index(
+            "ivf", "t", "vec", cells=4,
+            embedder=lambda t: (calls.append(1)
+                                or np.asarray(t.data, dtype=np.float32)))
+        session.indexes.search("ivf", np.zeros(8, dtype=np.float32), k=2)
+        assert sum(calls) == 1
+        # Re-register the table: the entry is stale; concurrent probes must
+        # agree on a single rebuild.
+        rng = np.random.default_rng(3)
+        session.sql.register_dict(
+            {"k": np.arange(32, dtype=np.int64) % 8,
+             "v": rng.normal(size=32).astype(np.float32),
+             "vec": rng.normal(size=(32, 8)).astype(np.float32)}, "t")
+        _run_threads(6, lambda _: session.indexes.search(
+            "ivf", np.zeros(8, dtype=np.float32), k=2))
+        assert sum(calls) == 2
+        assert session.indexes.lookup("ivf").build_count == 2
+
+
+class TestCacheConcurrency:
+    def test_tensor_cache_eviction_budget_invariant(self):
+        """Concurrent inserts never leave the cache over its byte budget."""
+        from repro.core.tensor_cache import TensorCache
+        cache = TensorCache(max_bytes=16 * 1024)
+        violations = []
+
+        def worker(i):
+            rng = np.random.default_rng(i)
+            for j in range(200):
+                col = Column.from_values(
+                    "c", rng.normal(size=64).astype(np.float32))
+                cache.put((i, j), [col], col.tensor.data.nbytes)
+                if cache.current_bytes > cache.max_bytes:
+                    violations.append(cache.current_bytes)
+
+        _run_threads(8, worker)
+        assert not violations
+        stats = cache.stats
+        assert stats["bytes"] <= stats["max_bytes"]
+        assert stats["inserts"] == 8 * 200
+
+    def test_plan_cache_stats_do_not_tear(self):
+        """hits + misses always equals the number of lookups."""
+        session = _numeric_session()
+        lookups_per_thread = 40
+
+        def worker(i):
+            for j in range(lookups_per_thread):
+                session.sql.query(QUERIES[(i + j) % len(QUERIES)]).run()
+
+        _run_threads(8, worker)
+        stats = session.plan_cache.stats
+        assert stats["hits"] + stats["misses"] == 8 * lookups_per_thread
+
+    def test_tensor_cache_stats_consistent_under_load(self):
+        session = _numeric_session()
+
+        def worker(i):
+            for _ in range(10):
+                session.sql.query(
+                    "SELECT k FROM t WHERE affine(v) > 0 ORDER BY k LIMIT 5"
+                ).run()
+
+        _run_threads(6, worker)
+        stats = session.tensor_cache.stats
+        lookups = stats["hits"] + stats["misses"] + stats["gather_hits"]
+        assert lookups >= 60      # every run consulted the cache exactly once
+        assert stats["bytes"] <= stats["max_bytes"]
+
+
+class TestScheduler:
+    def test_submit_returns_future_with_query_result(self):
+        session = _numeric_session()
+        future = session.submit("SELECT COUNT(*) FROM t")
+        assert future.result(timeout=30).scalar() == 64
+
+    def test_serve_matches_serial_in_order(self):
+        session = _numeric_session()
+        expected = [_snapshot(session.sql.query(q).run()) for q in QUERIES]
+        served = session.serve(QUERIES * 3, workers=4)
+        assert [_snapshot(r) for r in served] == expected * 3
+
+    def test_identical_inflight_statements_coalesce(self):
+        session = _numeric_session()
+        invocations = []
+        barrier = threading.Barrier(4, timeout=30)
+
+        @session.udf("float", name="slowfn", deterministic=False)
+        def slowfn(v: Tensor) -> Tensor:
+            invocations.append(1)
+            time.sleep(0.05)
+            return v
+
+        scheduler = QueryScheduler(session, workers=4)
+        try:
+            # Fill all four workers with a barrier statement first so the
+            # duplicates below are guaranteed to be in flight together.
+            @session.udf("float", name="sync", deterministic=False)
+            def sync(v: Tensor) -> Tensor:
+                barrier.wait()
+                return v
+
+            warm = [scheduler.submit("SELECT sync(v) FROM t WHERE k = %d" % i)
+                    for i in range(4)]
+            dupes = [scheduler.submit("SELECT SUM(slowfn(v)) FROM t")
+                     for _ in range(8)]
+            for f in warm + dupes:
+                f.result(timeout=30)
+            values = {f.result().scalar() for f in dupes}
+            assert len(values) == 1
+            assert scheduler.stats["coalesced"] >= 1
+            # deterministic=False disables the tensor cache for slowfn, so
+            # every non-coalesced duplicate re-invokes it (64 rows on cpu =
+            # 64 micro-batched invocations each).
+            assert len(invocations) == \
+                64 * (scheduler.stats["executed"] - 4)
+        finally:
+            scheduler.shutdown()
+
+    def test_ddl_never_coalesces_and_registry_change_disqualifies(self):
+        session = _numeric_session()
+        scheduler = QueryScheduler(session, workers=2)
+        try:
+            f1 = scheduler.submit("SELECT COUNT(*) FROM t")
+            f1.result(timeout=30)
+            stamp_before = scheduler.stats["executed"]
+            # A DDL statement between two identical submissions bumps the
+            # version stamp, so the second must re-execute, not join.
+            f2 = scheduler.submit("SELECT SUM(v) FROM t")
+            f2.result(timeout=30)
+            session.sql.query(
+                "CREATE VECTOR INDEX cidx ON t(vec) WITH (cells=2)").run()
+            f3 = scheduler.submit("SELECT SUM(v) FROM t")
+            assert f3.result(timeout=30).scalar() == f2.result().scalar()
+            assert scheduler.stats["executed"] == stamp_before + 2
+        finally:
+            scheduler.shutdown()
+
+    def test_errors_propagate_through_futures(self):
+        session = _numeric_session()
+        future = session.submit("SELECT nope FROM t")
+        with pytest.raises(Exception):
+            future.result(timeout=30)
+        # The pool survives the failure.
+        assert session.submit("SELECT COUNT(*) FROM t").result(
+            timeout=30).scalar() == 64
+
+
+class _CountingEncoder(nn.Module):
+    """Minimal encode_image-bearing module for batcher tests. The sleep
+    widens the in-flight window so concurrent requests reliably overlap."""
+
+    def __init__(self, delay: float = 0.03):
+        super().__init__()
+        self.proj = nn.Linear(4, 2)
+        self.delay = delay
+        self.calls = []
+
+    def encode_image(self, images):
+        self.calls.append(int(images.shape[0]))
+        time.sleep(self.delay)
+        return self.proj(images)
+
+
+class TestInferenceBatcher:
+    MODEL_TOKEN = 77
+
+    def _request(self, batcher, model, images, base_token, rows_fp, results,
+                 slot):
+        tag = tc.CacheTag(base_token, rows_fp,
+                          np.arange(2) if rows_fp is not None else None)
+        orig = model.encode_image
+        out = batcher.encode(model, orig, images, tag,
+                             self.MODEL_TOKEN, None, None)
+        results[slot] = np.asarray(out.data)
+
+    def test_identical_requests_share_one_forward(self):
+        model = _CountingEncoder()
+        batcher = InferenceBatcher(window=0.05)
+        images = Tensor(np.random.default_rng(0).normal(
+            size=(2, 4)).astype(np.float32))
+        results = [None] * 4
+        barrier = threading.Barrier(4, timeout=30)
+
+        def worker(i):
+            barrier.wait()
+            self._request(batcher, model, images, 42, ("fp", 0, 2),
+                          results, i)
+            batcher.statement_finished()
+
+        _run_threads(4, worker)
+        assert model.calls == [2]               # one forward pass total
+        for r in results[1:]:
+            np.testing.assert_array_equal(results[0], r)
+        stats = batcher.stats
+        assert stats["requests"] == 4 and stats["joins"] == 3
+        assert stats["forwards"] == 1
+
+    def test_staggered_identical_requests_join_the_running_forward(self):
+        """A duplicate arriving while the forward is computing still joins."""
+        model = _CountingEncoder(delay=0.1)
+        batcher = InferenceBatcher(window=0.01)
+        images = Tensor(np.zeros((2, 4), dtype=np.float32))
+        results = [None] * 2
+
+        def worker(i):
+            time.sleep(0.03 * i)    # second request lands mid-forward
+            self._request(batcher, model, images, 9, None, results, i)
+            batcher.statement_finished()
+
+        _run_threads(2, worker)
+        assert model.calls == [2]
+        np.testing.assert_array_equal(results[0], results[1])
+
+    def test_fused_batches_match_unfused(self):
+        model = _CountingEncoder()
+        batcher = InferenceBatcher(window=0.05, fuse=True)
+        rng = np.random.default_rng(1)
+        chunks = [Tensor(rng.normal(size=(2, 4)).astype(np.float32))
+                  for _ in range(3)]
+        results = [None] * 3
+        barrier = threading.Barrier(3, timeout=30)
+
+        def worker(i):
+            barrier.wait()
+            self._request(batcher, model, chunks[i], 100 + i, None,
+                          results, i)
+            batcher.statement_finished()
+
+        _run_threads(3, worker)
+        assert sum(model.calls) == 6            # all rows encoded...
+        assert batcher.stats["fused_forwards"] >= 1   # ...in fused forwards
+        for i, chunk in enumerate(chunks):
+            expected = np.asarray(model.proj(chunk).data)
+            np.testing.assert_allclose(results[i], expected, rtol=1e-5)
+
+    def test_tags_are_refcounted_across_sharers(self):
+        """One query's cleanup must not strip another query's in-flight tag
+        on a shared base-column tensor."""
+        tensor = Tensor(np.zeros(3, dtype=np.float32))
+        tag = tc.CacheTag(5, None, None)
+        tc.tag_tensor(tensor, tag)      # query A
+        tc.tag_tensor(tensor, tag)      # query B (same shared tensor)
+        tc.untag_tensor(tensor)         # A finishes first
+        assert getattr(tensor, "_cache_tag", None) is tag   # B keeps its tag
+        tc.untag_tensor(tensor)         # B finishes
+        assert getattr(tensor, "_cache_tag", None) is None
+        tc.untag_tensor(tensor)         # extra release is harmless
+
+    def test_lone_query_pays_no_window_latency(self):
+        model = _CountingEncoder()
+        batcher = InferenceBatcher(window=5.0)   # would be visible if waited
+        images = Tensor(np.zeros((1, 4), dtype=np.float32))
+        start = time.perf_counter()
+        self._request(batcher, model, images, 7, None, [None], 0)
+        assert time.perf_counter() - start < 1.0
+        batcher.statement_finished()
+
+
+class TestStress:
+    """Randomized concurrent query / DDL / UDF-re-registration stress.
+
+    Every mutation is semantically idempotent (tables re-register the same
+    content, UDFs re-register the same body), so every query interleaving
+    has one correct answer; the test checks each thread observes it while
+    registries churn underneath.
+    """
+
+    def test_randomized_interleavings_survive(self):
+        session = _numeric_session()
+        rng0 = np.random.default_rng(0)
+        table_data = {
+            "k": np.arange(64, dtype=np.int64) % 8,
+            "v": np.random.default_rng(7).normal(size=64).astype(np.float32),
+            "vec": np.random.default_rng(7).normal(
+                size=(64, 8)).astype(np.float32),
+        }
+        # Recreate 't' deterministically so re-registration keeps content.
+        session.sql.register_dict(dict(table_data), "t")
+        scale = session.functions.lookup("affine").modules[0]
+        expected = [_snapshot(session.sql.query(q).run()) for q in QUERIES]
+        iterations = _scaled(25, minimum=5)
+        probe = rng0.normal(size=8).astype(np.float32)
+
+        def reregister_udf():
+            @session.udf("float", name="affine", modules=[scale])
+            def affine(v: Tensor) -> Tensor:
+                return scale(v.reshape(-1, 1)).reshape(-1)
+
+        def worker(i):
+            rng = np.random.default_rng(1000 + i)
+            for _ in range(iterations):
+                op = int(rng.integers(0, 10))
+                if op < 5:
+                    j = int(rng.integers(0, len(QUERIES)))
+                    got = _snapshot(session.sql.query(QUERIES[j]).run())
+                    assert got == expected[j]
+                elif op == 5:
+                    session.sql.register_dict(dict(table_data), "t")
+                elif op == 6:
+                    reregister_udf()
+                elif op == 7:
+                    name = f"sidx_{i}"
+                    try:
+                        session.create_vector_index(
+                            name, "t", "vec", cells=4, nprobe=4,
+                            embedder=lambda t: np.asarray(
+                                t.data, dtype=np.float32))
+                        ids, _ = session.indexes.search(name, probe, k=3)
+                        assert len(ids) == 3
+                    finally:
+                        session.drop_index(name, if_exists=True)
+                elif op == 8:
+                    batch = session.execute_many(
+                        ["SELECT COUNT(*) FROM t", "SELECT SUM(v) FROM t"])
+                    assert batch[0].scalar() == 64
+                else:
+                    future = session.submit(QUERIES[0])
+                    assert _snapshot(future.result(timeout=60)) == expected[0]
+
+        _run_threads(6, worker)
+        # The engine is still coherent afterwards.
+        for q, want in zip(QUERIES, expected):
+            assert _snapshot(session.sql.query(q).run()) == want
+        stats = session.plan_cache.stats
+        assert stats["hits"] + stats["misses"] >= iterations
+        session.reset()
+
+    def test_stress_with_concurrent_serving(self):
+        """serve() under concurrent direct queries from other threads."""
+        session = _numeric_session()
+        expected = [_snapshot(session.sql.query(q).run()) for q in QUERIES]
+        rounds = _scaled(6, minimum=2)
+
+        def direct(i):
+            for j in range(rounds * 3):
+                q = QUERIES[(i + j) % len(QUERIES)]
+                assert _snapshot(session.sql.query(q).run()) == \
+                    expected[QUERIES.index(q)]
+
+        def serving(_):
+            for _ in range(rounds):
+                got = session.serve(QUERIES, workers=3)
+                assert [_snapshot(r) for r in got] == expected
+
+        def drive(i):
+            (serving if i < 2 else direct)(i)
+
+        _run_threads(4, drive)

@@ -163,7 +163,7 @@ class TestBatchExecution:
     def test_shared_scan_memo_does_not_leak(self, loaded_session):
         from repro.core.operators import scan as scan_mod
         loaded_session.execute_many(["SELECT COUNT(*) FROM t"])
-        assert scan_mod._SCAN_MEMO is None
+        assert scan_mod._SCAN_MEMO.get() is None
 
     def test_scans_resolve_fresh_outside_batches(self, loaded_session):
         q = loaded_session.sql.query("SELECT COUNT(*) FROM t")
