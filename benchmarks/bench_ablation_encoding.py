@@ -13,9 +13,7 @@ import pytest
 from repro.bench.harness import print_table, scaled, time_call
 from repro.core.session import Session
 from repro.core.soft import soft_count
-from repro.storage.column import Column
 from repro.storage.encodings import PEEncoding, RunLengthEncoding
-from repro.tcr.tensor import Tensor
 
 N_ROWS = scaled(200_000)
 

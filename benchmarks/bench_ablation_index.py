@@ -7,7 +7,7 @@ scan vs index probes for top-k similarity, reporting latency and recall@k.
 import numpy as np
 import pytest
 
-from repro.bench.harness import print_table, scaled, time_call
+from repro.bench.harness import print_table, time_call
 from repro.core.index import IVFFlatIndex
 from repro.ml.models.clip import text_features
 from repro.tcr.autograd import no_grad

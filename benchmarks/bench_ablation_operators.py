@@ -8,7 +8,6 @@ vs sort+limit, and the device micro-batch sweep behind the Fig 2 gap.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import print_table, scaled, time_call
 from repro.core.session import Session

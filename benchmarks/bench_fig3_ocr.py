@@ -7,7 +7,6 @@ magnitude faster overall, with conversion dominating the baseline and data
 loading roughly equal on both sides.
 """
 
-import numpy as np
 import pytest
 
 from repro.apps.ocr import (

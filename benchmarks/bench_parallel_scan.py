@@ -1,0 +1,144 @@
+"""Intra-query parallel execution benchmark (the PR 5 sharded-scan subsystem).
+
+Runs the UDF-heavy Fig 2 filter pipeline — score every attachment with the
+CLIP similarity UDF, filter on the score, return ids + raw float scores —
+in the **cold-cache regime** (``tensor_cache_bytes=0``: every execution pays
+full inference), serial (``shards=1``) versus sharded (``shards=4``).
+
+Two properties are measured; their gating differs deliberately:
+
+* **Bit-identity** (gated unconditionally, on any machine): sharded
+  execution returns byte-identical ids, counts and float scores. Shard
+  boundaries align to the device's micro-batch granularity and outputs
+  stitch in shard order, so the kernel-invocation sequence is exactly
+  serial execution's — this must hold everywhere, always.
+
+* **Latency** (gated by available parallelism): shard tasks run on
+  threads; the pipeline's cost is numpy inference (GIL-released), so the
+  speedup tracks core count. On >= 4 cores the gate is the tentpole's 2x at
+  4 shards; on 2-3 cores a reduced 1.2x; on a single core true parallelism
+  is physically unavailable, so — following the bench_fig3_mnistgrid
+  precedent of reporting instead of gating below a runnable scale — the
+  bench only asserts sharding costs < 30% overhead, and reports the
+  measured ratio into BENCH_RESULTS.json either way.
+
+A third, core-count-independent property gates the cache integration: a
+``shards=4`` run's per-shard UDF entries **assemble** into the full-column
+entry, so a following ``shards=1`` run of the same statement performs zero
+additional inference (PR 3's slice-assembly machinery extended to shard
+lineage).
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.bench.harness import print_table, record_metric
+from repro.apps.multimodal import setup_multimodal
+from repro.core.session import Session
+
+SHARDS = 4
+QUERY = ("SELECT attachment_id, image_text_similarity('KFC Receipt', images) "
+         "AS score FROM Attachments "
+         "WHERE image_text_similarity('KFC Receipt', images) > 0.5")
+COUNT_QUERY = ("SELECT COUNT(*) FROM Attachments "
+               "WHERE image_text_similarity('receipt', images) > 0.8")
+SHARD_CONFIG = {"shards": SHARDS, "parallel_min_rows": 8}
+
+
+def _cold_session(dataset, model) -> Session:
+    session = Session(tensor_cache_bytes=0)
+    setup_multimodal(session, dataset, model)
+    return session
+
+
+def _snapshot(result):
+    return {name: np.asarray(result.column(name))
+            for name in result.column_names}
+
+
+def _best_of(fn, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _speedup_gate(cores: int) -> float:
+    if cores >= 4:
+        return 2.0
+    if cores >= 2:
+        return 1.2
+    return 0.0          # single core: report-only (overhead bound applies)
+
+
+class TestParallelScan:
+    def test_sharded_speedup_and_bit_identity(self, benchmark, fig2_dataset,
+                                              clip_model):
+        session = _cold_session(fig2_dataset, clip_model)
+        serial_q = session.sql.query(QUERY)
+        sharded_q = session.sql.query(QUERY, extra_config=SHARD_CONFIG)
+        serial_c = session.sql.query(COUNT_QUERY)
+        sharded_c = session.sql.query(COUNT_QUERY, extra_config=SHARD_CONFIG)
+
+        # Bit-identity first (also warms numpy/model code paths).
+        a, b = _snapshot(serial_q.run()), _snapshot(sharded_q.run())
+        assert list(a) == list(b)
+        for name in a:
+            assert a[name].dtype == b[name].dtype
+            assert np.array_equal(a[name], b[name]), name   # raw float scores
+        assert serial_c.run().scalar() == sharded_c.run().scalar()
+
+        t_serial = _best_of(lambda: (serial_q.run(), serial_c.run()))
+        t_sharded = _best_of(lambda: (sharded_q.run(), sharded_c.run()))
+        speedup = t_serial / max(t_sharded, 1e-9)
+        cores = os.cpu_count() or 1
+        gate = _speedup_gate(cores)
+        print_table(
+            f"sharded scan: UDF-heavy Fig 2 filter pipeline, cold cache, "
+            f"{cores} cores",
+            ["mode", "seconds", "speedup"],
+            [["serial (shards=1)", t_serial, 1.0],
+             [f"sharded (shards={SHARDS})", t_sharded, speedup]],
+        )
+        print(f"shard pool: {session.shard_pool.stats}")
+        record_metric(
+            "parallel_scan",
+            speedup=round(speedup, 2), shards=SHARDS, cores=cores,
+            gate=gate, serial_s=round(t_serial, 3),
+            sharded_s=round(t_sharded, 3),
+        )
+        if gate:
+            assert speedup >= gate, (
+                f"sharded execution gained {speedup:.2f}x on {cores} cores "
+                f"(gate {gate}x)")
+        else:
+            # One core cannot parallelize; sharding must stay near-free.
+            assert speedup >= 0.7, (
+                f"sharding cost {1 / speedup:.2f}x overhead on one core")
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_shard_entries_assemble_warm_run(self, benchmark, fig2_dataset,
+                                             clip_model):
+        """Cache integration (core-count independent): per-shard UDF entries
+        assemble into the full-column entry, so a serial re-run of the same
+        statement performs zero additional model inference."""
+        session = Session()                   # cache ON for this property
+        setup_multimodal(session, fig2_dataset, clip_model)
+        sharded = _snapshot(session.sql.query(QUERY,
+                                              extra_config=SHARD_CONFIG).run())
+        before = session.tensor_cache.stats
+        serial = _snapshot(session.sql.query(QUERY).run())
+        after = session.tensor_cache.stats
+        for name in serial:
+            assert np.array_equal(serial[name], sharded[name]), name
+        new_misses = after["misses"] - before["misses"]
+        assert new_misses == 0, (
+            f"warm serial run after a sharded run recomputed inference "
+            f"({new_misses} cache misses)")
+        assert after["gather_hits"] > before["gather_hits"]
+        print(f"assembled warm run: {before} -> {after}")
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -11,7 +11,6 @@ Three measurements:
 """
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import print_table, record_metric, scaled, time_call
 from repro.core.session import Session

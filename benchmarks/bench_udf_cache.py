@@ -17,7 +17,6 @@ run is noisy at tiny scale.
 import contextlib
 
 import numpy as np
-import pytest
 
 from repro.bench.harness import (Timer, bench_scale, print_table,
                                  record_metric, scaled, time_call)

@@ -15,7 +15,7 @@ import numpy as np
 from repro.core.compiled_query import CompiledQuery
 from repro.core.session import Session
 from repro.datasets.digits import SIZE_NAMES
-from repro.datasets.mnist_grid import MnistGridDataset, NUM_GROUPS, make_grids
+from repro.datasets.mnist_grid import MnistGridDataset
 from repro.ml.models.cnn import CNN
 from repro.storage.encodings import PEEncoding
 from repro.tcr import optim

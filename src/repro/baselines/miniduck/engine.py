@@ -14,11 +14,11 @@ DISTINCT, arithmetic expressions and aliases.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional
+from typing import Dict
 
 import numpy as np
 
-from repro.errors import BindError, ExecutionError, SqlError
+from repro.errors import BindError, SqlError
 from repro.sql import nodes
 from repro.sql.parser import parse
 from repro.storage.frame import DataFrame
@@ -75,9 +75,20 @@ class _Executor:
 
     def _order_columns(self, columns: Dict[str, np.ndarray],
                        stmt: nodes.SelectStmt) -> Dict[str, np.ndarray]:
+        # ORDER BY may reference projection aliases as well as input columns
+        # (differential-harness finding: `SELECT a+1 AS v ... ORDER BY v`
+        # was rejected); evaluate aliased items into the sort environment.
+        env = dict(columns)
+        for item in stmt.items:
+            if item.alias and item.alias not in env \
+                    and not isinstance(item.expr, nodes.Star):
+                value = self._eval(item.expr, columns)
+                if np.isscalar(value):
+                    value = np.full(_row_count(columns), value)
+                env[item.alias] = np.asarray(value)
         keys = []
         for item in stmt.order_by:
-            values = np.asarray(self._eval(item.expr, columns))
+            values = np.asarray(self._eval(item.expr, env))
             array = _to_sortable(values)
             keys.append(array if item.ascending else -array)
         order = np.lexsort(tuple(reversed(keys)))
@@ -161,9 +172,25 @@ class _Executor:
         func = call.name.upper()
         if func == "COUNT" and isinstance(call.args[0], nodes.Star):
             return np.bincount(inverse, minlength=num_groups).astype(np.int64)
-        values = np.asarray(self._eval(call.args[0], columns), dtype=np.float64)
         if func == "COUNT":
-            return np.bincount(inverse, minlength=num_groups).astype(np.int64)
+            if not getattr(call, "distinct", False):
+                return np.bincount(inverse, minlength=num_groups).astype(np.int64)
+            # COUNT(DISTINCT x): unique values per group (differential-
+            # harness finding: the DISTINCT qualifier was silently ignored).
+            # NaN-aware like the TDP engine: all NULLs count as one value.
+            raw = np.asarray(self._eval(call.args[0], columns))
+            codes = _to_sortable(raw)
+            if len(codes) == 0:
+                return np.zeros(num_groups, dtype=np.int64)
+            order = np.lexsort((codes, inverse))
+            g, v = inverse[order], codes[order]
+            new_run = np.ones(len(v), dtype=np.int64)
+            same = (g[1:] == g[:-1]) & (
+                (v[1:] == v[:-1]) | (np.isnan(v[1:]) & np.isnan(v[:-1])))
+            new_run[1:] = ~same
+            return np.bincount(g, weights=new_run,
+                               minlength=num_groups).astype(np.int64)
+        values = np.asarray(self._eval(call.args[0], columns), dtype=np.float64)
         sums = np.zeros(num_groups)
         if func in ("SUM", "AVG"):
             np.add.at(sums, inverse, values)
@@ -171,12 +198,16 @@ class _Executor:
                 return sums
             counts = np.bincount(inverse, minlength=num_groups)
             return sums / np.maximum(counts, 1)
+        counts = np.bincount(inverse, minlength=num_groups)
         if func == "MIN":
             out = np.full(num_groups, np.inf)
             np.minimum.at(out, inverse, values)
-            return out
-        out = np.full(num_groups, -np.inf)
-        np.maximum.at(out, inverse, values)
+        else:
+            out = np.full(num_groups, -np.inf)
+            np.maximum.at(out, inverse, values)
+        # MIN/MAX over zero rows is NULL (NaN), not the accumulator identity
+        # (differential-harness finding: an empty global MAX returned -inf).
+        out[counts == 0] = np.nan
         return out
 
     # ------------------------------------------------------------------
@@ -208,7 +239,7 @@ class _Executor:
             return ~mask if expr.negated else mask
         if isinstance(expr, nodes.InList):
             value = np.asarray(self._eval(expr.operand, columns))
-            literals = [v.value for v in expr.values]
+            literals = [self._in_literal(v) for v in expr.values]
             mask = np.isin(value, literals)
             return ~mask if expr.negated else mask
         if isinstance(expr, nodes.Like):
@@ -225,6 +256,18 @@ class _Executor:
                 f"miniduck has no function {expr.name!r} (UDFs are a TDP feature)"
             )
         raise SqlError(f"miniduck: unsupported expression {type(expr).__name__}")
+
+    @staticmethod
+    def _in_literal(expr: nodes.Expr):
+        """IN-list member → python value (negative numbers parse as a unary
+        minus over a literal — fold it, mirroring the TDP binder)."""
+        if (isinstance(expr, nodes.UnaryOp) and expr.op == "-"
+                and isinstance(expr.operand, nodes.Literal)
+                and isinstance(expr.operand.value, (int, float))):
+            return -expr.operand.value
+        if isinstance(expr, nodes.Literal):
+            return expr.value
+        raise SqlError("miniduck: IN lists must contain literals")
 
 
 def _apply_binop(op: str, left, right):

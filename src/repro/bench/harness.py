@@ -6,7 +6,7 @@ import json
 import os
 import threading
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 
 def bench_scale() -> float:

@@ -9,7 +9,7 @@ our TCR, so ``parameters()``, ``train()/eval()`` and backprop all work on it.
 from __future__ import annotations
 
 import contextlib
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -9,7 +9,7 @@ heuristics live in ``_pick_aggregate`` / ``_maybe_fuse_topk``.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
 from repro.errors import PlanError
 from repro.core.compiled_query import CompiledQuery, ExecNode
@@ -37,21 +37,27 @@ from repro.core.operators import (
 )
 from repro.core.operators.fused import can_substitute, substitute_columns
 from repro.sql import logical
-from repro.storage import types as dt
-from repro.tcr.device import Device, as_device
+from repro.tcr.device import as_device
 
 
 class Compiler:
     def __init__(self, catalog, config: QueryConfig, device, indexes=None,
-                 tensor_cache=None):
+                 tensor_cache=None, shard_pool=None):
         self.catalog = catalog
         self.config = config
         self.device = as_device(device)
         self.indexes = indexes          # the session's IndexManager (or None)
         self.tensor_cache = tensor_cache  # the session's TensorCache (or None)
+        self.shard_pool = shard_pool    # the session's ShardPool (or None)
 
     def compile(self, plan: logical.LogicalPlan, sql_text: str) -> CompiledQuery:
         root = self._lower(plan)
+        if self._sharding:
+            # Intra-query parallelism: rewrite shardable pipeline prefixes
+            # (Scan → row-wise operators, plus mergeable global aggregates)
+            # into partition drivers over the session's shard pool.
+            from repro.core.operators.sharded import parallelize
+            root = parallelize(root, self.config, self.shard_pool, ExecNode)
         aggregate_outputs = _aggregate_output_slots(plan)
         return CompiledQuery(
             root=root,
@@ -141,6 +147,13 @@ class Compiler:
     # ------------------------------------------------------------------
     # Filter/Project fusion
     # ------------------------------------------------------------------
+    @property
+    def _sharding(self) -> bool:
+        # Trainable compilations keep the exact differentiable shape; a
+        # shard count of 1 (the default) is serial execution by definition.
+        return (self.config.parallel_scan and self.config.shards != 1
+                and not self.config.trainable)
+
     @property
     def _fusing(self) -> bool:
         # Trainable compilations keep the one-module-per-operator shape the

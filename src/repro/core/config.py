@@ -24,6 +24,10 @@ class constants:
     TENSOR_CACHE = "tensor_cache"          # reuse UDF/embedding materializations
     # Vector-index subsystem.
     NPROBE = "nprobe"                      # per-query IVF probe-width hint
+    # Intra-query parallelism (sharded scans).
+    PARALLEL_SCAN = "parallel_scan"        # enable the sharded-scan rewrite
+    SHARDS = "shards"                      # shard count (1 = serial, 0 = auto)
+    PARALLEL_MIN_ROWS = "parallel_min_rows"  # don't shard smaller inputs
 
 
 _DEFAULTS = {
@@ -38,6 +42,9 @@ _DEFAULTS = {
     constants.FUSE_OPERATORS: True,
     constants.TENSOR_CACHE: True,
     constants.NPROBE: None,
+    constants.PARALLEL_SCAN: True,
+    constants.SHARDS: 1,
+    constants.PARALLEL_MIN_ROWS: 64,
 }
 
 
@@ -107,6 +114,31 @@ class QueryConfig:
             raise ValueError(f"nprobe must be an integer, got {value!r}")
         if value < 1:
             raise ValueError(f"nprobe must be >= 1, got {value}")
+        return value
+
+    @property
+    def parallel_scan(self) -> bool:
+        return bool(self._values[constants.PARALLEL_SCAN])
+
+    @property
+    def shards(self) -> int:
+        """Shard count for intra-query parallelism: 1 = serial execution,
+        0 = one shard per available core, N = exactly N shards."""
+        value = self._values[constants.SHARDS]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(f"shards must be an integer, got {value!r}")
+        if value < 0 or value > 256:
+            raise ValueError(f"shards must be in [0, 256], got {value}")
+        return value
+
+    @property
+    def parallel_min_rows(self) -> int:
+        value = self._values[constants.PARALLEL_MIN_ROWS]
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueError(
+                f"parallel_min_rows must be an integer, got {value!r}")
+        if value < 0:
+            raise ValueError(f"parallel_min_rows must be >= 0, got {value}")
         return value
 
     def fingerprint(self) -> tuple:

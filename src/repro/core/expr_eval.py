@@ -20,12 +20,7 @@ from repro.errors import ExecutionError
 from repro.sql import bound as b
 from repro.storage import types as dt
 from repro.storage.column import Column
-from repro.storage.encodings import (
-    DictionaryEncoding,
-    EncodedTensor,
-    PlainEncoding,
-    ProbabilityEncoding,
-)
+from repro.storage.encodings import DictionaryEncoding, EncodedTensor, PlainEncoding
 from repro.storage.table import Table
 from repro.tcr import ops
 from repro.tcr.tensor import Tensor
@@ -201,7 +196,8 @@ class ExpressionEvaluator:
             key, full_key, rows, tags = _bcall_cache_plan(udf, values, args,
                                                           self, cache)
             if use_cache and key is not None:
-                cached = cache.udf_get(key, full_key, rows)
+                cached = cache.udf_get(key, full_key, rows,
+                                       num_rows=self.num_rows)
                 if cached is not None:
                     return cached[0]
             if tags:

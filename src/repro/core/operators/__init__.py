@@ -13,6 +13,7 @@ from repro.core.operators.index_scan import (
 from repro.core.operators.join import JoinExec, equi_join_indices
 from repro.core.operators.project import ProjectExec, TVFExec
 from repro.core.operators.scan import ScanExec, shared_scans
+from repro.core.operators.sharded import ShardedAggregateExec, ShardedScanExec
 from repro.core.operators.soft_aggregate import SoftAggregateExec
 from repro.core.operators.sort import DistinctExec, LimitExec, SortExec, TopKExec
 
@@ -20,7 +21,8 @@ __all__ = [
     "CreateIndexExec", "DistinctExec", "DropIndexExec", "FilterExec",
     "FusedFilterExec", "FusedFilterProjectExec", "HashAggregateExec",
     "IndexScanExec", "JoinExec", "LimitExec", "Operator", "ProjectExec",
-    "Relation", "ScanExec", "ShowIndexesExec", "SoftAggregateExec",
-    "SoftFilterExec", "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
+    "Relation", "ScanExec", "ShardedAggregateExec", "ShardedScanExec",
+    "ShowIndexesExec", "SoftAggregateExec", "SoftFilterExec",
+    "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
     "equi_join_indices", "shared_scans",
 ]

@@ -24,7 +24,6 @@ from repro.storage.encodings import (
 )
 from repro.storage.table import Table
 from repro.tcr import ops
-from repro.tcr.tensor import Tensor
 
 
 def _key_array(column: Column) -> np.ndarray:
@@ -119,7 +118,12 @@ def _global_agg_column(spec: AggSpec, arg: Optional[Column], n: int, device) -> 
     if spec.func == "SUM":
         result = ops.sum(tensor).reshape(1)
     elif spec.func == "AVG":
-        result = ops.mean(ops.astype(tensor, np.float32)).reshape(1)
+        # SUM/COUNT formulation with a float64 accumulator, matching the
+        # grouped (reduceat) AVG path — and exactly what the partial-
+        # aggregate merge computes, so sharded global AVG over integer
+        # inputs stays bit-identical with serial execution.
+        total = ops.sum(ops.astype(tensor, np.float64))
+        result = ops.astype(ops.div(total, float(n)), np.float32).reshape(1)
     elif spec.func == "MIN":
         result = ops.min(tensor).reshape(1)
     else:  # MAX
@@ -129,9 +133,112 @@ def _global_agg_column(spec: AggSpec, arg: Optional[Column], n: int, device) -> 
     return Column(spec.name, EncodedTensor(result, PlainEncoding()))
 
 
+def distinct_counts(group_ids: np.ndarray, values: np.ndarray,
+                    num_groups: int,
+                    starts: Optional[np.ndarray] = None) -> np.ndarray:
+    """Distinct values per group, NaN-aware: all NaNs in a group count as
+    ONE value, matching the global path's ``np.unique`` (which collapses
+    NaNs). Shared by the sort- and hash-aggregate COUNT(DISTINCT) paths so
+    the two implementations cannot drift."""
+    if len(values) == 0:
+        return np.zeros(num_groups, dtype=np.int64)
+    order = np.lexsort((values, group_ids))
+    g = group_ids[order]
+    v = values[order]
+    new_run = np.ones(len(v), dtype=np.int64)
+    same_g = g[1:] == g[:-1]
+    same_v = v[1:] == v[:-1]
+    if v.dtype.kind == "f":
+        # NaN != NaN would make every NULL its own "distinct" value; NaNs
+        # sort to the end of each group, so run-collapsing them is exact.
+        same_v = same_v | (np.isnan(v[1:]) & np.isnan(v[:-1]))
+    new_run[1:] = ~(same_g & same_v)
+    if starts is not None:
+        # Sort-aggregate path: groups are contiguous segments over `order`.
+        return np.add.reduceat(new_run, starts).astype(np.int64)
+    return np.bincount(g, weights=new_run,
+                       minlength=num_groups).astype(np.int64)
+
+
 def _distinct_codes(column: Column) -> np.ndarray:
     data = column.tensor.detach().data
     return data if data.ndim == 1 else data.reshape(data.shape[0], -1)[:, 0]
+
+
+# ----------------------------------------------------------------------
+# Partial (per-shard) global aggregation — the algebraic-aggregate half of
+# the sharded-scan subsystem. A spec is *exact-mergeable* when combining
+# per-shard partials is bit-identical with aggregating the whole relation:
+# COUNT always (integer addition), MIN/MAX always (order-insensitive exact
+# comparisons, NaN propagates identically), SUM and AVG only over
+# integer/bool inputs (integer partial sums are exact in int64/float64;
+# float partial sums would reorder the rounding). Everything else takes the
+# merge barrier and aggregates the stitched relation serially.
+# ----------------------------------------------------------------------
+_EMPTY_PARTIAL = ("empty",)
+
+
+def spec_mergeable(spec: AggSpec) -> bool:
+    """Can this aggregate be computed per shard and merged bit-identically?"""
+    if spec.distinct:
+        return False
+    if spec.func == "COUNT":
+        return True
+    data_type = getattr(spec.arg, "data_type", None) if spec.arg is not None else None
+    kind = getattr(data_type, "kind", None)
+    if spec.func in ("MIN", "MAX"):
+        return kind in ("int", "float", "bool")
+    if spec.func in ("SUM", "AVG"):
+        return kind in ("int", "bool")
+    return False
+
+
+def global_partial(spec: AggSpec, arg: Optional[Column], n: int) -> tuple:
+    """One shard's partial state for a mergeable global aggregate."""
+    if spec.func == "COUNT":
+        return ("count", n)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    if n == 0:
+        return _EMPTY_PARTIAL
+    data = arg.tensor.detach().data
+    if spec.func == "SUM":
+        return ("sum", np.sum(data))
+    if spec.func == "AVG":
+        return ("avg", np.sum(data.astype(np.float64)), n)
+    if spec.func == "MIN":
+        return ("min", np.min(data))
+    return ("max", np.max(data))
+
+
+def merge_global_partials(spec: AggSpec, partials: Sequence[tuple],
+                          device) -> Column:
+    """Combine shard partials into the single-row global aggregate column,
+    reproducing ``_global_agg_column``'s dtypes and empty-input fills."""
+    if spec.func == "COUNT":
+        total = sum(int(p[1]) for p in partials)
+        return Column.from_values(spec.name, np.asarray([total], dtype=np.int64),
+                                  device=device)
+    live = [p for p in partials if p is not _EMPTY_PARTIAL and p[0] != "empty"]
+    if not live:
+        fill = 0.0 if spec.func in ("SUM", "AVG") else np.nan
+        return Column.from_values(spec.name,
+                                  np.asarray([fill], dtype=np.float32),
+                                  device=device)
+    if spec.func == "AVG":
+        total = np.sum(np.asarray([p[1] for p in live], dtype=np.float64))
+        count = sum(int(p[2]) for p in live)
+        value = np.asarray([total / float(count)], dtype=np.float64)
+        return Column.from_values(spec.name, value.astype(np.float32),
+                                  device=device)
+    values = np.asarray([p[1] for p in live])
+    if spec.func == "SUM":
+        merged = np.sum(values)
+    elif spec.func == "MIN":
+        merged = np.min(values)
+    else:  # MAX
+        merged = np.max(values)
+    return Column.from_values(spec.name, np.asarray([merged]), device=device)
 
 
 class SortAggregateExec(_AggregateBase):
@@ -186,15 +293,9 @@ def _segment_agg_column(spec: AggSpec, arg: Optional[Column], order: np.ndarray,
         if spec.distinct:
             # Sort values within segments and count distinct runs per segment.
             seg_ids = np.repeat(np.arange(len(starts)), lengths)
-            sub_order = np.lexsort((data, seg_ids))
-            seg_sorted = seg_ids[sub_order]
-            val_sorted = data[sub_order]
-            new_run = np.ones(len(data), dtype=np.int64)
-            same_seg = seg_sorted[1:] == seg_sorted[:-1]
-            same_val = val_sorted[1:] == val_sorted[:-1]
-            new_run[1:] = ~(same_seg & same_val)
-            counts = np.add.reduceat(new_run, starts)
-            return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+            counts = distinct_counts(seg_ids, data, len(starts),
+                                     starts=starts)
+            return Column.from_values(spec.name, counts, device=device)
         return Column.from_values(spec.name, lengths.astype(np.int64), device=device)
     if isinstance(arg.encoding, DictionaryEncoding):
         raise ExecutionError(f"{spec.func} over string columns is not supported")
@@ -271,10 +372,9 @@ def _hash_agg_column(spec: AggSpec, arg: Optional[Column], inverse: np.ndarray,
     data = arg.tensor.detach().data
     if spec.func == "COUNT":
         if spec.distinct:
-            pairs = np.unique(np.stack([inverse.astype(np.int64),
-                                        data.astype(np.float64)], axis=1), axis=0)
-            counts = np.bincount(pairs[:, 0].astype(np.int64), minlength=num_groups)
-            return Column.from_values(spec.name, counts.astype(np.int64), device=device)
+            counts = distinct_counts(inverse.astype(np.int64),
+                                     data.astype(np.float64), num_groups)
+            return Column.from_values(spec.name, counts, device=device)
         counts = np.bincount(inverse, minlength=num_groups)
         return Column.from_values(spec.name, counts.astype(np.int64), device=device)
     if spec.func == "SUM":

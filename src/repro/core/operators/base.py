@@ -12,7 +12,6 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
-from repro.errors import ExecutionError
 from repro.sql import bound as b
 from repro.storage.table import Table
 from repro.tcr.nn.module import Module

@@ -8,7 +8,6 @@ from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.operators.base import Operator, Relation
 from repro.core.soft.relaxations import soft_predicate
 from repro.sql import bound as b
-from repro.tcr.tensor import Tensor
 
 
 class FilterExec(Operator):

@@ -19,7 +19,6 @@ from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.operators.base import Operator, Relation
 from repro.errors import ExecutionError
 from repro.sql import bound as b
-from repro.storage.column import Column
 from repro.storage.table import Table
 
 

@@ -22,7 +22,7 @@ Filter→Project→TopK pipeline it replaced.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

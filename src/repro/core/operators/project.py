@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List
 
-from repro.errors import ExecutionError
 from repro.core.expr_eval import ExpressionEvaluator, Scalar, _invoke_batched
 from repro.core.operators.base import Operator, Relation
 from repro.sql import bound as b

@@ -1,0 +1,277 @@
+"""Sharded-scan executors: intra-query parallelism over contiguous row shards.
+
+The compiler (via :func:`parallelize`) rewrites lowered operator trees when
+the query runs with ``shards > 1``:
+
+* ``Scan → {Filter | FusedFilter | FusedFilterProject | Project}*`` prefixes
+  become one :class:`ShardedScanExec`, which resolves the scan once, splits
+  its rows into contiguous shards (boundaries aligned to the device's
+  micro-batch granularity when the prefix evaluates UDFs), runs the prefix
+  per shard on the session's :class:`~repro.core.partition.ShardPool`, and
+  stitches outputs back in shard order — bit-identical with serial
+  execution by construction (see :mod:`repro.core.partition`).
+
+* Global (group-less) exact aggregates over such a prefix become a
+  :class:`ShardedAggregateExec` when every aggregate is *exact-mergeable*
+  (COUNT, MIN/MAX, integer SUM/AVG): each shard computes partial states and
+  the driver merges them, skipping the stitched materialisation entirely.
+  Non-mergeable aggregates (float sums, DISTINCT), GROUP BY, joins, sorts,
+  TVFs and trainable pipelines execute after the deterministic merge
+  barrier, over the stitched relation — which is bitwise the relation
+  serial execution would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core import tensor_cache as tc
+from repro.core.operators.aggregate import (
+    HashAggregateExec,
+    SortAggregateExec,
+    global_partial,
+    merge_global_partials,
+    spec_mergeable,
+)
+from repro.core.operators.base import Operator, Relation
+from repro.core.operators.filter import FilterExec
+from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec
+from repro.core.operators.project import ProjectExec
+from repro.core.operators.scan import ScanExec, shard_slices
+from repro.core.partition import plan_shards, run_sharded, stitch_relations
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.storage.table import Table
+
+_ROW_WISE_OPS = (FilterExec, FusedFilterExec, FusedFilterProjectExec, ProjectExec)
+
+
+def _op_exprs(op: Operator) -> list:
+    if isinstance(op, FilterExec):
+        return [op.predicate]
+    if isinstance(op, FusedFilterExec):
+        return list(op.predicates)
+    if isinstance(op, FusedFilterProjectExec):
+        return list(op.predicates) + list(op.exprs)
+    if isinstance(op, ProjectExec):
+        return list(op.exprs)
+    return []
+
+
+def _exprs_contain_udf(exprs) -> bool:
+    return any(e is not None and e.contains_udf() for e in exprs)
+
+
+def _finish_batcher_statement() -> None:
+    """Tell an active inference batcher this shard's encode stream ended.
+
+    Shard tasks inherit the coordinator's batcher via their copied context;
+    without this, a helper thread that encoded once would count as an
+    \"active encoder\" forever and stall every later rendezvous to its
+    window timeout."""
+    batcher = tc.active_batcher()
+    if batcher is not None:
+        batcher.statement_finished()
+
+
+def _post_filter_udf(pipeline: List[Operator]) -> bool:
+    """Does any UDF in the pipeline evaluate over an already-*selected* row
+    stream? Such a UDF's per-shard micro-batch lengths are the shard's
+    filtered remnant — not multiples of the device batch size — so on a
+    device that batches rows (``exec_batch_rows > 1``) its kernel shapes
+    could not match serial execution's and sharding must be declined."""
+    selected = False
+    for op in pipeline:
+        if isinstance(op, (FilterExec, FusedFilterExec)):
+            if selected and _exprs_contain_udf(_op_exprs(op)):
+                return True
+            selected = True
+        elif isinstance(op, FusedFilterProjectExec):
+            if selected and _exprs_contain_udf(op.predicates):
+                return True
+            # The projection expressions always see post-filter rows.
+            if _exprs_contain_udf(op.exprs):
+                return True
+            selected = True
+        elif selected and _exprs_contain_udf(_op_exprs(op)):
+            return True
+    return False
+
+
+class _ShardedBase(Operator):
+    def __init__(self, scan: ScanExec, pipeline: List[Operator], pool,
+                 shards: int, min_rows: int):
+        super().__init__()
+        self.scan = scan
+        self.pipeline = list(pipeline)
+        self.pool = pool
+        self.shards = int(shards)
+        self.min_rows = int(min_rows)
+        self.register_module("scan_op", scan)
+        for i, op in enumerate(self.pipeline):
+            self.register_module(f"stage{i}", op)
+        self._pipeline_has_udf = any(
+            _exprs_contain_udf(_op_exprs(op)) for op in self.pipeline)
+        self._post_filter_udf = _post_filter_udf(self.pipeline)
+        self._pipeline_filters = any(
+            isinstance(op, (FilterExec, FusedFilterExec,
+                            FusedFilterProjectExec))
+            for op in self.pipeline)
+
+    def _bounds(self, num_rows: int, extra_udf: bool = False):
+        from repro.core.partition import default_shards
+        shards = self.shards if self.shards > 0 else default_shards()
+        align = 1
+        if self._pipeline_has_udf or extra_udf:
+            # Shard boundaries land on micro-batch multiples so per-shard
+            # UDF dispatch reproduces serial execution's kernel shapes.
+            align = self.scan.device.profile.exec_batch_rows
+        if align > 1 and (self._post_filter_udf
+                          or (extra_udf and self._pipeline_filters)):
+            # A UDF over a *filtered* stream (including aggregate arguments
+            # evaluated after a filtering pipeline) batches over remnant
+            # lengths no boundary alignment can control: on a row-batching
+            # device the only bit-safe execution is serial.
+            return plan_shards(num_rows, 1, self.min_rows, align)
+        return plan_shards(num_rows, shards, self.min_rows, align)
+
+    def _run_pipeline(self, relation: Relation) -> Relation:
+        for op in self.pipeline:
+            relation = op(relation)
+        return relation
+
+    def _pipeline_text(self) -> str:
+        parts = [self.scan.describe()] + [op.describe() for op in self.pipeline]
+        return " -> ".join(parts)
+
+
+class ShardedScanExec(_ShardedBase):
+    """Partition driver for a row-wise pipeline prefix rooted at a scan."""
+
+    def forward(self, relation=None) -> Relation:
+        base = self.scan(None)
+        bounds = self._bounds(base.num_rows)
+        if len(bounds) <= 1:
+            return self._run_pipeline(base)
+        tables = shard_slices(base.table, bounds)
+
+        def make_task(table):
+            def task():
+                try:
+                    return self._run_pipeline(Relation(table))
+                finally:
+                    _finish_batcher_statement()
+            return task
+
+        results = run_sharded(self.pool, [make_task(t) for t in tables])
+        return stitch_relations(results, base_rows=base.num_rows)
+
+    def describe(self) -> str:
+        return (f"ShardedScan(shards={self.shards}, "
+                f"min_rows={self.min_rows}): {self._pipeline_text()}")
+
+
+class ShardedAggregateExec(_ShardedBase):
+    """Global algebraic aggregation over a sharded pipeline prefix.
+
+    Each shard runs the row-wise prefix, evaluates the aggregate inputs,
+    and reduces them to partial states; the driver merges the partials.
+    Only lowered for spec lists where the merge is bit-identical with
+    aggregating the whole relation (see ``spec_mergeable``).
+    """
+
+    def __init__(self, agg, scan: ScanExec, pipeline: List[Operator], pool,
+                 shards: int, min_rows: int):
+        super().__init__(scan, pipeline, pool, shards, min_rows)
+        self.agg = agg                      # the serial aggregate operator
+        self.register_module("agg_op", agg)
+        self._agg_has_udf = _exprs_contain_udf(
+            [spec.arg for spec in agg.aggregates])
+
+    def forward(self, relation=None) -> Relation:
+        base = self.scan(None)
+        bounds = self._bounds(base.num_rows, extra_udf=self._agg_has_udf)
+        if len(bounds) <= 1:
+            return self.agg(self._run_pipeline(base))
+        tables = shard_slices(base.table, bounds)
+        specs = self.agg.aggregates
+
+        def make_task(table):
+            def task():
+                try:
+                    rel = self._run_pipeline(Relation(table))
+                    evaluator = ExpressionEvaluator(rel.table)
+                    partials = []
+                    for spec in specs:
+                        arg = (evaluator.evaluate_column(spec.arg, spec.name)
+                               if spec.arg is not None else None)
+                        partials.append(global_partial(spec, arg, rel.num_rows))
+                    return partials
+                finally:
+                    _finish_batcher_statement()
+            return task
+
+        shard_partials = run_sharded(self.pool, [make_task(t) for t in tables])
+        columns = [
+            merge_global_partials(spec, [p[i] for p in shard_partials],
+                                  base.device)
+            for i, spec in enumerate(specs)
+        ]
+        return Relation(Table(base.table.name, columns))
+
+    def describe(self) -> str:
+        aggs = ", ".join(str(s) for s in self.agg.aggregates)
+        return (f"ShardedAggregate([{aggs}], shards={self.shards}): "
+                f"{self._pipeline_text()}")
+
+
+# ----------------------------------------------------------------------
+# The plan transform
+# ----------------------------------------------------------------------
+def _match_chain(node) -> Optional[tuple]:
+    """``(scan_op, [row-wise ops bottom-up])`` when ``node`` roots a
+    shardable pipeline prefix, else None."""
+    ops: List[Operator] = []
+    current = node
+    while isinstance(current.op, _ROW_WISE_OPS):
+        children = current._children_nodes
+        if len(children) != 1:
+            return None
+        ops.append(current.op)
+        current = children[0]
+    if not isinstance(current.op, ScanExec) or current._children_nodes:
+        return None
+    return current.op, list(reversed(ops))
+
+
+def parallelize(root, config, pool, exec_node_cls):
+    """Rewrite a lowered tree for intra-query parallelism.
+
+    ``exec_node_cls`` is :class:`repro.core.compiled_query.ExecNode`
+    (passed in to keep this module import-light). Aggregate nodes with
+    mergeable specs become partial-aggregate drivers; remaining shardable
+    prefixes become sharded scans; everything else is rebuilt unchanged
+    around the recursion.
+    """
+    shards = config.shards
+    min_rows = config.parallel_min_rows
+
+    def visit(node):
+        op = node.op
+        if isinstance(op, (SortAggregateExec, HashAggregateExec)) \
+                and not op.group_exprs \
+                and all(spec_mergeable(s) for s in op.aggregates) \
+                and len(node._children_nodes) == 1:
+            chain = _match_chain(node._children_nodes[0])
+            if chain is not None:
+                scan, pipeline = chain
+                return exec_node_cls(
+                    ShardedAggregateExec(op, scan, pipeline, pool,
+                                         shards, min_rows), [])
+        chain = _match_chain(node)
+        if chain is not None and chain[1]:
+            scan, pipeline = chain
+            return exec_node_cls(
+                ShardedScanExec(scan, pipeline, pool, shards, min_rows), [])
+        return exec_node_cls(op, [visit(c) for c in node._children_nodes])
+
+    return visit(root)

@@ -14,16 +14,14 @@ trainable queries process a mini-batch of grids per step.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.operators.aggregate import _AggregateBase
 from repro.core.operators.base import Relation
 from repro.core.soft.soft_groupby import dense_domain_columns
-from repro.sql.bound import AggSpec, BoundExpr
 from repro.storage.column import Column
 from repro.storage.encodings import (
     DictionaryEncoding,

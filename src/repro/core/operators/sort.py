@@ -11,7 +11,7 @@ from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.operators.base import Operator, Relation
 from repro.sql.bound import BoundExpr
 from repro.storage.column import Column
-from repro.storage.encodings import DictionaryEncoding, ProbabilityEncoding
+from repro.storage.encodings import ProbabilityEncoding
 
 
 def _sort_array(column: Column, ascending: bool) -> np.ndarray:

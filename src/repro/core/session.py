@@ -20,6 +20,7 @@ from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig, constants
 from repro.core.indexes import IndexEntry, IndexManager
 from repro.core.operators.scan import shared_scans
+from repro.core.partition import ShardPool
 from repro.core.tensor_cache import DEFAULT_TENSOR_CACHE_BYTES, TensorCache
 from repro.core.udf import FunctionRegistry, make_udf_decorator
 from repro.sql.binder import Binder
@@ -180,6 +181,11 @@ class Session:
         self.constants = constants
         self.udf = make_udf_decorator(self.functions)
         self.plan_cache = PlanCache(plan_cache_size)
+        # Shard workers for intra-query parallelism (sharded scans). Helper
+        # threads spawn lazily on the first statement compiled with
+        # ``shards != 1``; shard tasks from concurrent statements interleave
+        # on the one pool.
+        self.shard_pool = ShardPool()
         # Default scheduler for Session.submit (created lazily; Session.serve
         # spins up a dedicated pool per call instead).
         self._scheduler = None
@@ -223,7 +229,8 @@ class Session:
             opt_config["indexes"] = self.indexes
         plan = optimize(plan, opt_config)
         compiler = Compiler(self.catalog, config, device, indexes=self.indexes,
-                            tensor_cache=self.tensor_cache)
+                            tensor_cache=self.tensor_cache,
+                            shard_pool=self.shard_pool)
         return compiler.compile(plan, statement)
 
     # ------------------------------------------------------------------

@@ -11,7 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ExecutionError
-from repro.core.expr_eval import ExpressionEvaluator, Scalar
+from repro.core.expr_eval import ExpressionEvaluator
 from repro.sql import bound as b
 from repro.tcr import ops
 from repro.tcr.tensor import Tensor

@@ -15,7 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.datasets.fonts import char_pitch, paste, render_text
+from repro.datasets.fonts import paste, render_text
 
 IMAGE_HEIGHT = 200
 IMAGE_WIDTH = 300

@@ -9,7 +9,7 @@ scale 1/eps before training.
 from __future__ import annotations
 
 import dataclasses
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

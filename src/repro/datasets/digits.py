@@ -9,7 +9,7 @@ which is the property the MNISTGrid learning experiments rely on.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

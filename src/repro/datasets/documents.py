@@ -13,7 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.datasets.fonts import char_pitch, paste, render_text
+from repro.datasets.fonts import paste, render_text
 from repro.datasets.iris import FEATURES, make_iris
 from repro.storage.frame import DataFrame
 

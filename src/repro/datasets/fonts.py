@@ -9,7 +9,7 @@ matching, closing the image→table loop entirely inside the repo.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable
 
 import numpy as np
 

@@ -9,7 +9,7 @@ dense output order of the soft group-by.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.tcr import nn, ops
+from repro.tcr import nn
 from repro.tcr.tensor import Tensor
 
 

@@ -18,7 +18,7 @@ property Fig 3-left's lazy-vs-bulk comparison measures.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -11,7 +11,7 @@ implements the paper's two UDF placements:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import BindError
 from repro.sql import bound as b
@@ -133,6 +133,16 @@ def _has_aggregate(expr: nodes.Expr) -> bool:
     if isinstance(expr, nodes.Cast):
         return _has_aggregate(expr.operand)
     return False
+
+
+def _fold_signed_literal(expr: nodes.Expr) -> nodes.Expr:
+    """Collapse ``UnaryOp('-', Literal(n))`` into ``Literal(-n)``."""
+    if (isinstance(expr, nodes.UnaryOp) and expr.op == "-"
+            and isinstance(expr.operand, nodes.Literal)
+            and isinstance(expr.operand.value, (int, float))
+            and not isinstance(expr.operand.value, bool)):
+        return nodes.Literal(-expr.operand.value)
+    return expr
 
 
 def _derive_name(item: nodes.SelectItem, position: int) -> str:
@@ -577,6 +587,10 @@ class Binder:
             operand = self._bind_expr(expr.operand, scope, allow_agg)
             values = []
             for value in expr.values:
+                # `IN (-5, ...)` parses the sign as a unary minus; fold it
+                # back into the literal (differential-harness finding: the
+                # binder rejected every negative IN-list member).
+                value = _fold_signed_literal(value)
                 if not isinstance(value, nodes.Literal):
                     raise BindError("IN lists must contain literals")
                 values.append(value.value)

@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from typing import Mapping, Optional
 
-from repro.sql import bound as b
 from repro.sql import logical
 from repro.sql.optimizer.folding import fold
 from repro.sql.optimizer.pruning import prune

@@ -8,7 +8,7 @@ requires, and narrows children by inserting (or tightening) projections.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, Set, Tuple
 
 from repro.sql import bound as b
 from repro.sql import logical

@@ -9,11 +9,10 @@ from __future__ import annotations
 
 import itertools
 import threading
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import EncodingError
 from repro.storage import types as dt
 from repro.storage.encodings import (
     DictionaryEncoding,
@@ -24,7 +23,7 @@ from repro.storage.encodings import (
     RunLengthEncoding,
 )
 from repro.tcr import ops
-from repro.tcr.tensor import Tensor, ensure_tensor
+from repro.tcr.tensor import Tensor
 
 
 # Process-unique identity tokens: the engine's materialization cache keys on
@@ -53,6 +52,34 @@ def identity_token(obj) -> Optional[int]:
                 except AttributeError:
                     return None
     return token
+
+
+def concat_encoded(columns: Sequence["Column"]) -> Optional[EncodedTensor]:
+    """Concatenate column pieces row-wise into one :class:`EncodedTensor`.
+
+    Stateless encodings (plain) may differ by object; stateful ones
+    (dictionary/probability) must be the *same object* for their codes to
+    concatenate directly — pieces that each built their own dictionary
+    (e.g. per-shard ``UPPER(...)`` outputs or string-literal broadcasts)
+    are instead decoded and re-encoded over the union, which preserves the
+    logical values exactly. Returns None only when no sound combination
+    exists. Shared by the shard stitcher and the tensor cache's slice
+    assembly so the compatibility rule cannot drift between them.
+    """
+    encoding = columns[0].encoding
+    compatible = all(
+        column.encoding is encoding
+        or (isinstance(column.encoding, PlainEncoding)
+            and isinstance(encoding, PlainEncoding))
+        for column in columns[1:]
+    )
+    if compatible:
+        return EncodedTensor(ops.cat([c.tensor for c in columns], dim=0), encoding)
+    if all(isinstance(c.encoding, DictionaryEncoding) for c in columns):
+        values = np.concatenate([c.decode() for c in columns])
+        return DictionaryEncoding.encode(list(values),
+                                         device=columns[0].device)
+    return None
 
 
 class Column:
@@ -134,7 +161,13 @@ class Column:
         return self.encoded.decode()
 
     def materialize(self) -> "Column":
-        """Decompress RLE columns to plain (other encodings pass through)."""
+        """Decompress RLE columns to plain (other encodings pass through).
+
+        Deliberately not memoised on the instance: a resident decoded copy
+        would outlive every cache budget. Callers that fan one column out
+        into many slices (the shard driver's ``shard_slices``) materialize
+        once up front instead.
+        """
         if isinstance(self.encoding, RunLengthEncoding):
             return Column(self.name, PlainEncoding.encode(self.decode(), device=self.device))
         return self
@@ -155,6 +188,29 @@ class Column:
                 rows = idx if base_rows is None else base_rows[idx]
                 lineage = (base_token, rows)
         return Column(self.name, EncodedTensor(gathered, col.encoding), lineage)
+
+    def slice_rows(self, start: int, stop: int) -> "Column":
+        """Contiguous row range ``[start, stop)`` as a zero-copy view.
+
+        The shard driver slices every scan column this way: a contiguous
+        slice of a C-contiguous carrier is a numpy view (``take`` with the
+        equivalent ``arange`` would gather a copy per shard). Lineage is
+        recorded exactly as ``take(np.arange(start, stop))`` would record
+        it, so materialization-cache keys agree between the two paths.
+        """
+        col = self.materialize()
+        sliced = ops.getitem(col.tensor, slice(start, stop))
+        lineage = None
+        base = col.lineage
+        if base is None:
+            token = identity_token(col.tensor)
+            base = (token, None) if token is not None else None
+        if base is not None:
+            base_token, base_rows = base
+            rows = (np.arange(start, stop) if base_rows is None
+                    else base_rows[start:stop])
+            lineage = (base_token, rows)
+        return Column(self.name, EncodedTensor(sliced, col.encoding), lineage)
 
     def rename(self, name: str) -> "Column":
         return Column(name, self.encoded, self.lineage)

@@ -9,9 +9,6 @@ dictionary codes; group-by on PE columns uses soft aggregation).
 
 from __future__ import annotations
 
-from typing import Any
-
-import numpy as np
 
 from repro.errors import EncodingError
 from repro.tcr.tensor import Tensor

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -109,6 +109,10 @@ class Table:
     # ------------------------------------------------------------------
     def take(self, indices) -> "Table":
         return Table(self.name, [col.take(indices) for col in self._columns])
+
+    def slice_rows(self, start: int, stop: int) -> "Table":
+        """Contiguous row range ``[start, stop)`` (zero-copy column views)."""
+        return Table(self.name, [col.slice_rows(start, stop) for col in self._columns])
 
     def select(self, names: Sequence[str]) -> "Table":
         return Table(self.name, [self.column(n) for n in names])

@@ -11,7 +11,7 @@ autograd ops, so gradients flow through it for free.
 from __future__ import annotations
 
 import re
-from typing import List, Sequence
+from typing import List
 
 from repro.errors import ShapeError
 from repro.tcr import ops

@@ -11,7 +11,7 @@ from repro.tcr import ops
 from repro.tcr.nn import init
 from repro.tcr.nn.module import Module, Parameter
 from repro.tcr.random import get_generator
-from repro.tcr.tensor import Tensor, zeros
+from repro.tcr.tensor import Tensor
 
 
 class Linear(Module):

@@ -110,4 +110,19 @@ from repro.tcr.ops.sorting import (
     unique,
 )
 
-__all__ = [name for name in dir() if not name.startswith("_")]
+__all__ = [
+    "abs", "adaptive_avg_pool2d", "add", "all", "any", "argmax", "argmin",
+    "argsort", "astype", "avg_pool2d", "bincount", "broadcast_to", "cat",
+    "ceil", "chunk", "clamp", "clone", "conv2d", "cumsum", "div", "dot",
+    "einsum_pair", "eq", "exp", "flatten", "flip", "floor", "gather", "ge",
+    "gelu", "getitem", "gt", "index_select", "isclose", "isnan", "le",
+    "leaky_relu", "lexsort_rows", "log", "log1p", "log_softmax",
+    "logical_and", "logical_not", "logical_or", "logical_xor", "logsumexp",
+    "lt", "masked_select", "matmul", "max", "max_pool2d", "maximum", "mean",
+    "min", "minimum", "mul", "ne", "neg", "nonzero", "one_hot", "outer",
+    "pad2d", "permute", "pow", "prod", "relu", "remainder",
+    "repeat_interleave", "reshape", "round", "scatter_add", "searchsorted",
+    "segment_sum", "sigmoid", "sign", "softmax", "sort", "split", "sqrt",
+    "squeeze", "stack", "std", "sub", "sum", "tanh", "tile", "to_device",
+    "topk", "transpose", "unique", "unsqueeze", "var", "where",
+]

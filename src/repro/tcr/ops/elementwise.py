@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ShapeError
 from repro.tcr import dtype as dtypes
 from repro.tcr.ops.common import coerce_pair
 from repro.tcr.tensor import Tensor

@@ -9,7 +9,6 @@ the grouping) carry gradients.
 
 from __future__ import annotations
 
-from typing import Sequence
 
 import numpy as np
 
@@ -37,7 +36,6 @@ def getitem(a: Tensor, index) -> Tensor:
     else:
         data = np.ascontiguousarray(data)
     shape = a.shape
-    dtype = a.dtype
 
     def backward(grad):
         out = np.zeros(shape, dtype=grad.dtype)
@@ -56,7 +54,6 @@ def index_select(a: Tensor, dim: int, index) -> Tensor:
 
     def backward(grad):
         out = np.zeros(shape, dtype=grad.dtype)
-        slicer = [slice(None)] * len(shape)
         # np.add.at with an axis: build index tuple
         full_index = [slice(None)] * len(shape)
         full_index[axis] = idx

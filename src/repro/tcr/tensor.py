@@ -8,7 +8,7 @@ dtype casts. Operator implementations live in :mod:`repro.tcr.ops`.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

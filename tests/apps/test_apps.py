@@ -71,7 +71,6 @@ class TestLlpApp:
         bags = make_bags(train_x, train_y, 8, rng=np.random.default_rng(1))
         llp.train_on_bags(app, bags, epochs=6, lr=0.05)
         err = app.model.error(test_x, test_y)
-        base_rate = min(test_y.mean(), 1 - test_y.mean())
         assert err < 0.45
         # And close to the fully supervised baseline for small bags.
         supervised = train_non_llp(train_x, train_y, epochs=10)

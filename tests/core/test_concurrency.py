@@ -439,10 +439,18 @@ class TestStress:
         def worker(i):
             rng = np.random.default_rng(1000 + i)
             for _ in range(iterations):
-                op = int(rng.integers(0, 10))
+                op = int(rng.integers(0, 12))
                 if op < 5:
                     j = int(rng.integers(0, len(QUERIES)))
                     got = _snapshot(session.sql.query(QUERIES[j]).run())
+                    assert got == expected[j]
+                elif op >= 10:
+                    # Sharded statements interleave with whole-query work on
+                    # the session shard pool without deadlock, bit-identical.
+                    j = int(rng.integers(0, len(QUERIES)))
+                    got = _snapshot(session.sql.query(QUERIES[j], extra_config={
+                        "shards": int(rng.integers(2, 5)),
+                        "parallel_min_rows": 2}).run())
                     assert got == expected[j]
                 elif op == 5:
                     session.sql.register_dict(dict(table_data), "t")
@@ -487,9 +495,15 @@ class TestStress:
                 assert _snapshot(session.sql.query(q).run()) == \
                     expected[QUERIES.index(q)]
 
-        def serving(_):
-            for _ in range(rounds):
-                got = session.serve(QUERIES, workers=3)
+        def serving(worker_idx):
+            for round_idx in range(rounds):
+                extra = None
+                if (worker_idx + round_idx) % 2:
+                    # Alternate rounds serve sharded statements: scheduler
+                    # workers submit shard batches to the session pool while
+                    # other scheduler workers run whole statements.
+                    extra = {"shards": 3, "parallel_min_rows": 2}
+                got = session.serve(QUERIES, workers=3, extra_config=extra)
                 assert [_snapshot(r) for r in got] == expected
 
         def drive(i):

@@ -1,10 +1,8 @@
 """Expression evaluator edge cases not covered by the end-to-end suite."""
 
-import numpy as np
 import pytest
 
 from repro.core.session import Session
-from repro.errors import ExecutionError
 
 
 @pytest.fixture

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.compiler import Compiler
 from repro.core.config import QueryConfig
-from repro.core.operators import FusedFilterExec, FusedFilterProjectExec
 from repro.core.session import Session
 from repro.sql import bound as b
 from repro.sql import logical

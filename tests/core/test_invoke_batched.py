@@ -6,9 +6,7 @@ scalar broadcast arguments, and the grad-enabled bypass.
 """
 
 import numpy as np
-import pytest
 
-from repro import tcr
 from repro.core.expr_eval import _invoke_batched
 from repro.core.udf import UdfInfo, parse_output_schema
 from repro.storage.column import Column

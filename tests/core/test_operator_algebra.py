@@ -1,0 +1,234 @@
+"""Property-based operator-algebra tests (hypothesis).
+
+Three algebraic contracts the execution engine relies on:
+
+* **Fusion transparency** — fused Filter/Project pipelines produce exactly
+  what the unfused operator cascade produces (`fuse_operators` on vs. off).
+* **Partial-aggregate soundness** — merging per-shard partial states equals
+  aggregating the whole relation, for every exact-mergeable aggregate and
+  every split of the input (including empty and single-row shards).
+* **Shard-count invariance** — `shards ∈ {1, 2, 3, 7}` produce bit-identical
+  results over randomized tables, including empty tables, all-NULL columns
+  and shards that degenerate to single rows.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.operators.aggregate import (
+    _global_agg_column,
+    global_partial,
+    merge_global_partials,
+    spec_mergeable,
+)
+from repro.core.session import Session
+from repro.sql.bound import AggSpec
+from repro.storage import types as dt
+from repro.storage.column import Column
+
+SETTINGS = dict(max_examples=25, deadline=None)
+
+
+# ----------------------------------------------------------------------
+# Table strategies
+# ----------------------------------------------------------------------
+@st.composite
+def tables(draw, min_rows=0, max_rows=48):
+    n = draw(st.integers(min_rows, max_rows))
+    ints = draw(st.lists(st.integers(-50, 50), min_size=n, max_size=n))
+    floats = draw(st.lists(
+        st.one_of(st.floats(-100, 100, width=32), st.just(float("nan"))),
+        min_size=n, max_size=n))
+    words = draw(st.lists(st.sampled_from(["ant", "bee", "cat", "dog", ""]),
+                          min_size=n, max_size=n))
+    return {
+        "id": np.arange(n, dtype=np.int64),
+        "x": np.asarray(ints, dtype=np.int64),
+        "y": np.asarray(floats, dtype=np.float32),
+        "s": np.asarray(words, dtype=object),
+    }
+
+
+def _register(data) -> Session:
+    session = Session()
+    session.sql.register_dict(dict(data), "t")
+    return session
+
+
+def _snapshot(result):
+    return {name: np.asarray(result.column(name))
+            for name in result.column_names}
+
+
+def _assert_bitwise(a, b, context):
+    assert list(a) == list(b), context
+    for name in a:
+        av, bv = a[name], b[name]
+        assert av.dtype == bv.dtype, (context, name, av.dtype, bv.dtype)
+        if av.dtype.kind == "f":
+            assert np.array_equal(av, bv, equal_nan=True), (context, name)
+        else:
+            assert np.array_equal(av, bv), (context, name)
+
+
+STATEMENTS = [
+    "SELECT id, x * 2 - 1 AS v, y FROM t WHERE x > -10 AND y < 50.0",
+    "SELECT id, y + y AS w FROM t WHERE x % 3 = 0 OR s = 'bee'",
+    "SELECT id FROM t WHERE s IN ('ant', 'dog') AND x BETWEEN -20 AND 20",
+    "SELECT COUNT(*) AS c, MIN(x) AS mn, MAX(x) AS mx, SUM(x) AS sm, "
+    "AVG(x) AS av FROM t WHERE y IS NOT NULL",
+    "SELECT s, COUNT(*) AS c, SUM(x) AS sm FROM t GROUP BY s",
+    "SELECT id, x FROM t ORDER BY x DESC, id LIMIT 7",
+]
+
+
+# ----------------------------------------------------------------------
+# Fused vs. unfused
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(data=tables())
+def test_fused_equals_unfused(data):
+    session = _register(data)
+    for stmt in STATEMENTS:
+        fused = _snapshot(session.sql.query(
+            stmt, extra_config={"fuse_operators": True}).run())
+        unfused = _snapshot(session.sql.query(
+            stmt, extra_config={"fuse_operators": False}).run())
+        _assert_bitwise(fused, unfused, stmt)
+
+
+# ----------------------------------------------------------------------
+# Shard-count invariance
+# ----------------------------------------------------------------------
+@settings(**SETTINGS)
+@given(data=tables())
+def test_shard_count_invariance(data):
+    session = _register(data)
+    for stmt in STATEMENTS:
+        serial = _snapshot(session.sql.query(stmt).run())
+        for shards in (2, 3, 7):
+            sharded = _snapshot(session.sql.query(stmt, extra_config={
+                "shards": shards, "parallel_min_rows": 2}).run())
+            _assert_bitwise(serial, sharded, (stmt, shards))
+
+
+@settings(**SETTINGS)
+@given(data=tables(min_rows=0, max_rows=3))
+def test_shard_invariance_degenerate_tables(data):
+    """Empty tables, single rows, and shard counts exceeding the row count."""
+    session = _register(data)
+    for stmt in STATEMENTS:
+        serial = _snapshot(session.sql.query(stmt).run())
+        sharded = _snapshot(session.sql.query(stmt, extra_config={
+            "shards": 7, "parallel_min_rows": 0}).run())
+        _assert_bitwise(serial, sharded, stmt)
+
+
+@settings(**SETTINGS)
+@given(n=st.integers(0, 40))
+def test_shard_invariance_all_null_column(n):
+    session = _register({
+        "id": np.arange(n, dtype=np.int64),
+        "x": np.arange(n, dtype=np.int64) % 5,
+        "y": np.full(n, np.nan, dtype=np.float32),
+    })
+    for stmt in ("SELECT id, y FROM t WHERE y IS NULL",
+                 "SELECT COUNT(*) AS c, MIN(y) AS mn, MAX(y) AS mx FROM t",
+                 "SELECT x, COUNT(*) AS c FROM t GROUP BY x"):
+        serial = _snapshot(session.sql.query(stmt).run())
+        sharded = _snapshot(session.sql.query(stmt, extra_config={
+            "shards": 4, "parallel_min_rows": 2}).run())
+        _assert_bitwise(serial, sharded, stmt)
+
+
+def test_count_distinct_collapses_nans_consistently():
+    """All NULLs (NaNs) count as one distinct value, identically in the
+    sort, hash and global aggregate implementations (review finding: the
+    run-comparison paths treated every NaN as its own value)."""
+    session = _register({
+        "k": np.asarray([0, 0, 0, 1, 1], dtype=np.int64),
+        "y": np.asarray([np.nan, np.nan, 1.0, np.nan, 2.0], dtype=np.float32),
+    })
+    for impl in ("sort", "hash"):
+        result = session.sql.query(
+            "SELECT k, COUNT(DISTINCT y) AS c FROM t GROUP BY k",
+            extra_config={"groupby_impl": impl}).run()
+        assert result.column("c").tolist() == [2, 2], impl
+    top = session.sql.query("SELECT COUNT(DISTINCT y) AS c FROM t").run()
+    assert top.scalar() == 3
+
+
+# ----------------------------------------------------------------------
+# Partial-aggregate merge == whole-relation aggregate
+# ----------------------------------------------------------------------
+def _spec(func, arg_kind=None):
+    arg = None
+    if arg_kind is not None:
+        from repro.sql.bound import BColumn
+        data_type = dt.INT if arg_kind == "int" else dt.FLOAT
+        arg = BColumn(0, "v", data_type)
+    out_type = dt.INT if func == "COUNT" else (
+        dt.FLOAT if func == "AVG" else
+        (dt.INT if arg_kind == "int" else dt.FLOAT))
+    return AggSpec(func=func, arg=arg, distinct=False, name="out",
+                   data_type=out_type)
+
+
+@settings(**SETTINGS)
+@given(
+    values=st.lists(st.integers(-1000, 1000), max_size=60),
+    cuts=st.lists(st.integers(0, 60), max_size=5),
+    func=st.sampled_from(["COUNT", "SUM", "MIN", "MAX", "AVG"]),
+)
+def test_partial_merge_equals_whole_int(values, cuts, func):
+    data = np.asarray(values, dtype=np.int64)
+    n = len(data)
+    spec = _spec(func, None if func == "COUNT" else "int")
+    assert spec_mergeable(spec)
+    column = Column.from_values("v", data)
+    whole = _global_agg_column(spec, None if spec.arg is None else column,
+                               n, column.device)
+    bounds = sorted({min(c, n) for c in cuts} | {0, n})
+    partials = []
+    for start, stop in zip(bounds, bounds[1:] or [n]):
+        piece = column.slice_rows(start, stop)
+        partials.append(global_partial(
+            spec, None if spec.arg is None else piece, stop - start))
+    if not partials:
+        partials.append(global_partial(
+            spec, None if spec.arg is None else column.slice_rows(0, 0), 0))
+    merged = merge_global_partials(spec, partials, column.device)
+    a, b = whole.tensor.detach().data, merged.tensor.detach().data
+    assert a.dtype == b.dtype, (func, a.dtype, b.dtype)
+    assert np.array_equal(a, b, equal_nan=True), (func, a, b)
+
+
+@settings(**SETTINGS)
+@given(
+    values=st.lists(st.one_of(st.floats(-50, 50, width=32),
+                              st.just(float("nan"))), max_size=40),
+    cut=st.integers(0, 40),
+    func=st.sampled_from(["MIN", "MAX", "COUNT"]),
+)
+def test_partial_merge_equals_whole_float(values, cut, func):
+    """Floats: only order-insensitive aggregates are mergeable (and the
+    planner must agree)."""
+    data = np.asarray(values, dtype=np.float32)
+    n = len(data)
+    spec = _spec(func, None if func == "COUNT" else "float")
+    assert spec_mergeable(spec)
+    for bad in ("SUM", "AVG"):
+        assert not spec_mergeable(_spec(bad, "float"))
+    column = Column.from_values("v", data)
+    whole = _global_agg_column(spec, None if spec.arg is None else column,
+                               n, column.device)
+    cut = min(cut, n)
+    partials = [
+        global_partial(spec, None if spec.arg is None
+                       else column.slice_rows(0, cut), cut),
+        global_partial(spec, None if spec.arg is None
+                       else column.slice_rows(cut, n), n - cut),
+    ]
+    merged = merge_global_partials(spec, partials, column.device)
+    a, b = whole.tensor.detach().data, merged.tensor.detach().data
+    assert np.array_equal(a, b, equal_nan=True), (func, a, b)

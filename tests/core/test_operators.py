@@ -1,14 +1,12 @@
 """Physical operators: equivalences, joins, batched UDF execution."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro import tcr
 from repro.core.operators import equi_join_indices
 from repro.core.session import Session
-from repro.tcr.tensor import Tensor
 
 
 def _group_query(session, impl):

@@ -3,9 +3,8 @@
 import numpy as np
 import pytest
 
-from repro import tcr
 from repro.core.session import Session
-from repro.errors import CatalogError, ExecutionError
+from repro.errors import ExecutionError
 
 
 @pytest.fixture

@@ -1,0 +1,288 @@
+"""Unit tests for the intra-query parallel execution subsystem (PR 5):
+partition planning, the shard pool, plan lowering, knobs, and cache keys."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.core.partition import ShardPool, plan_shards, stitch_relations
+from repro.core.operators.base import Relation
+from repro.core.session import Session
+from repro.storage.table import Table
+from repro.storage.column import Column
+
+
+def _session(rows=400):
+    session = Session()
+    rng = np.random.default_rng(3)
+    session.sql.register_dict(
+        {"id": np.arange(rows, dtype=np.int64),
+         "x": rng.integers(0, 50, rows).astype(np.int64),
+         "y": rng.normal(size=rows).astype(np.float32),
+         "s": np.array([f"w{i % 5}" for i in range(rows)], dtype=object)},
+        "t",
+    )
+    return session
+
+
+class TestPlanShards:
+    def test_splits_into_contiguous_cover(self):
+        bounds = plan_shards(100, 4, min_rows=2)
+        assert bounds == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_min_rows_disables_splitting(self):
+        assert plan_shards(100, 4, min_rows=200) == [(0, 100)]
+
+    def test_alignment_rounds_boundaries(self):
+        bounds = plan_shards(1000, 3, min_rows=2, align=64)
+        assert all(start % 64 == 0 for start, _ in bounds)
+        assert bounds[-1][1] == 1000
+        covered = sum(stop - start for start, stop in bounds)
+        assert covered == 1000
+
+    def test_no_split_when_serial_would_single_batch(self):
+        # n <= align: serial execution runs one un-split kernel.
+        assert plan_shards(100, 4, min_rows=2, align=512) == [(0, 100)]
+
+    def test_degenerate_inputs(self):
+        assert plan_shards(0, 4, min_rows=0) == [(0, 0)]
+        assert plan_shards(1, 4, min_rows=0) == [(0, 1)]
+        assert len(plan_shards(3, 7, min_rows=0)) <= 3
+
+
+class TestShardPool:
+    def test_results_in_submission_order(self):
+        pool = ShardPool(workers=2)
+        results = pool.run([lambda i=i: i * i for i in range(10)])
+        assert results == [i * i for i in range(10)]
+
+    def test_exceptions_reraise_by_shard_order(self):
+        pool = ShardPool(workers=2)
+
+        def boom():
+            raise ValueError("shard failed")
+
+        with pytest.raises(ValueError, match="shard failed"):
+            pool.run([lambda: 1, boom, lambda: 3])
+
+    def test_submitter_helps_with_zero_workers(self):
+        pool = ShardPool(workers=0)        # no helper threads at all
+        assert pool.run([lambda i=i: i for i in range(5)]) == list(range(5))
+
+    def test_concurrent_batches_interleave(self):
+        pool = ShardPool(workers=2)
+        out = []
+
+        def submit(i):
+            out.append(pool.run([lambda j=j: (i, j) for j in range(8)]))
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+            assert not t.is_alive()
+        assert sorted(batch[0][0] for batch in out) == [0, 1, 2, 3]
+        for batch in out:
+            i = batch[0][0]
+            assert batch == [(i, j) for j in range(8)]
+
+
+class TestStitch:
+    def test_full_coverage_restores_base_lineage(self):
+        base = Column.from_values("v", np.arange(20, dtype=np.int64))
+        pieces = [Relation(Table("t", [base.slice_rows(0, 12)])),
+                  Relation(Table("t", [base.slice_rows(12, 20)]))]
+        merged = stitch_relations(pieces, base_rows=20)
+        token, rows = merged.table.columns[0].lineage
+        assert rows is None                      # recognised as the full column
+        assert np.array_equal(merged.table.columns[0].tensor.data,
+                              base.tensor.data)
+
+    def test_partial_coverage_keeps_row_lineage(self):
+        base = Column.from_values("v", np.arange(20, dtype=np.int64))
+        pieces = [Relation(Table("t", [base.slice_rows(0, 5)])),
+                  Relation(Table("t", [base.slice_rows(12, 20)]))]
+        merged = stitch_relations(pieces, base_rows=20)
+        token, rows = merged.table.columns[0].lineage
+        assert rows is not None
+        assert np.array_equal(rows, np.concatenate(
+            [np.arange(0, 5), np.arange(12, 20)]))
+
+
+class TestLowering:
+    def test_pipeline_prefix_becomes_sharded_scan(self):
+        q = _session().sql.query(
+            "SELECT id, x * 2 AS v FROM t WHERE x > 10",
+            extra_config={"shards": 4})
+        assert "ShardedScan(shards=4" in q.explain()
+
+    def test_mergeable_global_aggregate_lowered_to_partials(self):
+        q = _session().sql.query(
+            "SELECT COUNT(*), MIN(x), MAX(x), SUM(x), AVG(x) FROM t "
+            "WHERE x > 10", extra_config={"shards": 4})
+        assert "ShardedAggregate(" in q.explain()
+
+    def test_float_sum_takes_merge_barrier(self):
+        # Float partial sums would reorder rounding: the aggregate stays
+        # serial, only the pipeline below it shards.
+        q = _session().sql.query(
+            "SELECT SUM(y) FROM t WHERE x > 10", extra_config={"shards": 4})
+        text = q.explain()
+        assert "ShardedAggregate(" not in text
+        assert "ShardedScan(" in text
+
+    def test_group_by_takes_merge_barrier(self):
+        q = _session().sql.query(
+            "SELECT s, COUNT(*) FROM t WHERE x > 10 GROUP BY s",
+            extra_config={"shards": 4})
+        text = q.explain()
+        assert "ShardedAggregate(" not in text
+        assert "ShardedScan(" in text
+
+    def test_shards_1_and_trainable_stay_serial(self):
+        session = _session()
+        assert "Sharded" not in session.sql.query(
+            "SELECT id FROM t WHERE x > 10").explain()
+        assert "Sharded" not in session.sql.query(
+            "SELECT SUM(y) FROM t WHERE x > 10",
+            extra_config={"shards": 4, "trainable": True}).explain()
+
+    def test_parallel_scan_off_disables_rewrite(self):
+        assert "Sharded" not in _session().sql.query(
+            "SELECT id FROM t WHERE x > 10",
+            extra_config={"shards": 4, "parallel_scan": False}).explain()
+
+
+class TestKnobs:
+    def test_invalid_shards_rejected(self):
+        for bad in (-1, 257, True, "four", 1.5):
+            with pytest.raises(ValueError):
+                QueryConfig({"shards": bad}).shards
+
+    def test_invalid_min_rows_rejected(self):
+        for bad in (-1, True, "many"):
+            with pytest.raises(ValueError):
+                QueryConfig({"parallel_min_rows": bad}).parallel_min_rows
+
+    def test_knobs_fold_into_plan_cache_fingerprint(self):
+        session = _session()
+        stmt = "SELECT id FROM t WHERE x > 10"
+        q1 = session.sql.query(stmt)
+        q4 = session.sql.query(stmt, extra_config={"shards": 4})
+        q1_again = session.sql.query(stmt)
+        assert q1 is q1_again                  # cache hit for equal config
+        assert q1 is not q4                    # shard count is in the key
+        assert "ShardedScan" in q4.explain()
+        assert "ShardedScan" not in q1.explain()
+
+
+class TestReviewRegressions:
+    def test_computed_string_columns_stitch(self):
+        """Per-shard dictionary encodings (string builtins / literals)
+        decode and re-encode at the stitch instead of failing."""
+        session = _session()
+        for stmt in ("SELECT UPPER(s) AS u FROM t WHERE x >= 0",
+                     "SELECT 'tag' AS c, x FROM t WHERE x >= 0"):
+            a = session.sql.query(stmt).run()
+            b = session.sql.query(stmt, extra_config={
+                "shards": 4, "parallel_min_rows": 2}).run()
+            for name in a.column_names:
+                assert np.array_equal(a.column(name), b.column(name)), (stmt, name)
+
+    def test_post_filter_udf_declines_sharding_on_batching_device(self):
+        """A UDF over a filtered stream batches over remnant lengths no
+        alignment controls: on a row-batching device (cuda profile) the
+        driver must fall back to serial execution, bitwise."""
+        session = _session(rows=2000)
+        from repro.tcr import nn
+        from repro.tcr.tensor import Tensor
+        lin = nn.Linear(1, 1)
+
+        @session.udf("float", name="aff", modules=[lin])
+        def aff(v: Tensor) -> Tensor:
+            return lin(v.to(device="cpu").reshape(-1, 1)).reshape(-1)
+
+        stmt = "SELECT id, aff(y) AS a FROM t WHERE y > 0"
+        for device in ("cpu", "cuda"):
+            a = session.sql.query(stmt, device=device).run()
+            b = session.sql.query(stmt, device=device, extra_config={
+                "shards": 3, "parallel_min_rows": 2}).run()
+            for name in a.column_names:
+                assert a.column(name).dtype == b.column(name).dtype
+                assert np.array_equal(a.column(name), b.column(name)), (device, name)
+        # A UDF over the *unfiltered* scan stays shardable on cuda too.
+        pre = "SELECT id FROM t WHERE aff(y) > 0"
+        a = session.sql.query(pre, device="cuda").run()
+        b = session.sql.query(pre, device="cuda", extra_config={
+            "shards": 3, "parallel_min_rows": 2}).run()
+        assert np.array_equal(a.column("id"), b.column("id"))
+
+    def test_rle_columns_share_one_materialized_base(self):
+        """The shard driver materializes an RLE column once for the whole
+        shard set: every shard slice records the same lineage base (cache
+        keys unify), instead of one full decode per shard. The decoded copy
+        is scoped to the shard set — Column itself never pins it."""
+        from repro.core.operators.scan import shard_slices
+        from repro.storage.encodings import RunLengthEncoding
+        col = Column("r", RunLengthEncoding.encode(np.repeat(np.arange(8), 50)))
+        table = Table("t", [col])
+        bounds = [(0, 100), (100, 200), (200, 300), (300, 400)]
+        tokens = {piece.columns[0].lineage[0]
+                  for piece in shard_slices(table, bounds)}
+        assert len(tokens) == 1
+        assert col.materialize() is not col                 # still RLE itself
+
+    def test_cuda_alignment_boundary_rounding(self):
+        """align > 1 (cuda profile, exec_batch_rows=512): shard boundaries
+        land on batch multiples for every shard count and odd row count,
+        and pre-filter UDF pipelines stay bitwise identical with serial."""
+        session = _session(rows=1300)
+        from repro.tcr import nn
+        from repro.tcr.tensor import Tensor
+        lin = nn.Linear(1, 1)
+
+        @session.udf("float", name="aff2", modules=[lin])
+        def aff2(v: Tensor) -> Tensor:
+            return lin(v.to(device="cpu").reshape(-1, 1)).reshape(-1)
+
+        bounds = plan_shards(1300, 3, min_rows=2, align=512)
+        assert bounds == [(0, 512), (512, 1024), (1024, 1300)]
+        stmt = "SELECT id FROM t WHERE aff2(y) > 0"
+        serial = session.sql.query(stmt, device="cuda").run()
+        for shards in (2, 3, 7):
+            sharded = session.sql.query(stmt, device="cuda", extra_config={
+                "shards": shards, "parallel_min_rows": 2}).run()
+            assert np.array_equal(serial.column("id"), sharded.column("id")), shards
+
+
+class TestExecutionParity:
+    def test_limit_offset_and_distinct_over_sharded_prefix(self):
+        session = _session()
+        for stmt in (
+            "SELECT id, y FROM t WHERE x > 5 ORDER BY y DESC, id LIMIT 9 OFFSET 3",
+            "SELECT DISTINCT s FROM t WHERE x < 40",
+            "SELECT s, AVG(x) AS m FROM t GROUP BY s ORDER BY s",
+        ):
+            a = session.sql.query(stmt).run()
+            b = session.sql.query(stmt, extra_config={
+                "shards": 5, "parallel_min_rows": 2}).run()
+            assert a.column_names == b.column_names
+            for name in a.column_names:
+                av, bv = a.column(name), b.column(name)
+                assert av.dtype == bv.dtype
+                if av.dtype.kind == "f":
+                    assert np.array_equal(av, bv, equal_nan=True)
+                else:
+                    assert np.array_equal(av, bv)
+
+    def test_execute_many_shares_shard_slices(self):
+        session = _session()
+        stmts = ["SELECT COUNT(*) FROM t WHERE x > 10",
+                 "SELECT COUNT(*) FROM t WHERE x > 20"]
+        serial = [q.scalar() for q in session.execute_many(stmts)]
+        sharded = [q.scalar() for q in session.execute_many(
+            stmts, extra_config={"shards": 4, "parallel_min_rows": 2})]
+        assert serial == sharded

@@ -8,9 +8,7 @@ deterministic / mutated-weight paths never serve stale results.
 """
 
 import numpy as np
-import pytest
 
-from repro import tcr
 from repro.core.session import Session
 from repro.core.tensor_cache import TensorCache, state_fingerprint
 from repro.tcr import nn, ops

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro import tcr
 from repro.core.config import constants
 from repro.core.session import Session
 from repro.errors import ExecutionError

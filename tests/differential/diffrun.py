@@ -1,0 +1,227 @@
+"""Three-way differential runner: engine shards=1, engine shards=4, miniduck.
+
+``run_differential(seed, count)`` executes every generated statement:
+
+1. engine ``shards=1`` (plain serial execution),
+2. engine ``shards=4`` with a tiny ``parallel_min_rows`` so even small
+   tables actually split — compared **bitwise** (values, dtypes, row order)
+   against (1): sharded execution must be indistinguishable from serial;
+3. the ``baselines.miniduck`` oracle — compared after order normalisation
+   on the statement's exact-typed key columns, NaN-aware, with the float
+   tolerance documented in ``ALLOWLIST``.
+
+Failures carry the seed, case index and SQL; reproduce with
+``python tests/differential/diffrun.py --seed S --count N`` (see README.md).
+
+ALLOWLIST — benign engine/oracle differences accepted by the comparator,
+each with its justification; anything outside these is a failure:
+
+* ``float-precision``: the engine materialises float results as float32
+  (tensor-runtime convention) and reduces float aggregates with
+  vectorised/pairwise accumulators, while miniduck computes in float64 with
+  ``np.add.at`` ordering. Same math, different precision and summation
+  order — float comparisons therefore use ``rtol=1e-4, atol=1e-6`` against
+  the float64-cast values instead of bit equality. (Engine-vs-engine
+  comparisons are still bitwise; the tolerance applies only to the oracle.)
+* ``int-widening``: miniduck computes every aggregate in float64, so an
+  engine int64 SUM/MIN/MAX compares against a float64 oracle value;
+  the comparator casts both to float64, exact up to 2^53 (generated values
+  keep sums far below that).
+* ``nan-vs-null``: both systems model NULL as NaN; NaN outputs compare
+  equal positionally (``equal_nan``), and predicates drop NaN rows in both.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from diffgen import DiffStatement, gen_statements, gen_tables  # noqa: E402
+
+from repro.baselines.miniduck import MiniDuck  # noqa: E402
+from repro.core.session import Session  # noqa: E402
+from repro.errors import TdpError  # noqa: E402
+
+SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2}
+FLOAT_RTOL = 1e-4
+FLOAT_ATOL = 1e-6
+
+
+class Divergence(Exception):
+    """One differential failure, annotated with its reproduction recipe."""
+
+    def __init__(self, seed: int, case: int, stmt: DiffStatement, detail: str):
+        self.seed = seed
+        self.case = case
+        self.stmt = stmt
+        self.detail = detail
+        super().__init__(
+            f"seed={seed} case={case}\n  sql: {stmt.sql}\n  {detail}\n"
+            f"  reproduce: python tests/differential/diffrun.py "
+            f"--seed {seed} --case {case}"
+        )
+
+
+def _engine_result(session: Session, sql: str,
+                   extra: Optional[dict]) -> Dict[str, np.ndarray]:
+    result = session.sql.query(sql, extra_config=extra).run()
+    return {name: np.asarray(result.column(name))
+            for name in result.column_names}
+
+
+def _oracle_result(duck: MiniDuck, sql: str) -> Dict[str, np.ndarray]:
+    frame = duck.execute(sql)
+    return {name: np.asarray(frame[name]) for name in frame.columns}
+
+
+# ----------------------------------------------------------------------
+# Comparators
+# ----------------------------------------------------------------------
+def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
+    if a.dtype != b.dtype or a.shape != b.shape:
+        return False
+    if a.dtype.kind == "f":
+        return bool(np.array_equal(a, b, equal_nan=True))
+    return bool(np.array_equal(a, b))
+
+
+def compare_engine_runs(serial: Dict[str, np.ndarray],
+                        sharded: Dict[str, np.ndarray]) -> Optional[str]:
+    """Bitwise comparison (the shard-invariance contract). Returns a
+    description of the first difference, or None."""
+    if list(serial) != list(sharded):
+        return f"column sets differ: {list(serial)} vs {list(sharded)}"
+    for name in serial:
+        if not _bitwise_equal(serial[name], sharded[name]):
+            return (f"column {name!r} differs between shards=1 and shards=4: "
+                    f"{serial[name][:8]!r} vs {sharded[name][:8]!r}")
+    return None
+
+
+def _sort_order(result: Dict[str, np.ndarray], keys: List[str]) -> np.ndarray:
+    n = len(next(iter(result.values()))) if result else 0
+    arrays = []
+    for key in reversed(keys):
+        values = result[key]
+        if values.dtype.kind in ("U", "S", "O"):
+            arrays.append(np.asarray([str(v) for v in values], dtype="U64"))
+        else:
+            arrays.append(values.astype(np.float64))
+    if not arrays:
+        return np.arange(n)
+    return np.lexsort(tuple(arrays))
+
+
+def compare_with_oracle(engine: Dict[str, np.ndarray],
+                        oracle: Dict[str, np.ndarray],
+                        stmt: DiffStatement) -> Optional[str]:
+    if list(engine) != list(oracle):
+        return f"column sets differ: {list(engine)} vs {list(oracle)}"
+    if len({len(v) for v in engine.values()}) > 1:
+        return "engine produced ragged columns"
+    if len(next(iter(engine.values()), ())) != len(next(iter(oracle.values()), ())):
+        return (f"row counts differ: engine "
+                f"{len(next(iter(engine.values())))} vs oracle "
+                f"{len(next(iter(oracle.values())))}")
+    if stmt.ordered:
+        eng, orc = engine, oracle
+    else:
+        keys = [k for k in stmt.sort_keys if k in engine] or list(engine)
+        eng_order = _sort_order(engine, keys)
+        orc_order = _sort_order(oracle, keys)
+        eng = {k: v[eng_order] for k, v in engine.items()}
+        orc = {k: v[orc_order] for k, v in oracle.items()}
+    for name in eng:
+        a, b = eng[name], orc[name]
+        if a.dtype.kind in ("U", "S", "O") or b.dtype.kind in ("U", "S", "O"):
+            if not np.array_equal(np.asarray([str(v) for v in a]),
+                                  np.asarray([str(v) for v in b])):
+                return f"string column {name!r}: {a[:8]!r} vs {b[:8]!r}"
+            continue
+        af = a.astype(np.float64)
+        bf = b.astype(np.float64)
+        if not np.allclose(af, bf, rtol=FLOAT_RTOL, atol=FLOAT_ATOL,
+                           equal_nan=True):
+            worst = np.nanmax(np.abs(af - bf)) if af.size else 0.0
+            return (f"column {name!r} diverges (max abs diff {worst:g}): "
+                    f"{a[:8]!r} vs {b[:8]!r}")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Driver
+# ----------------------------------------------------------------------
+def run_differential(seed: int, count: int = 120,
+                     only_case: Optional[int] = None,
+                     verbose: bool = False) -> dict:
+    """Run one seed's statement stream; raises Divergence on the first
+    failure. Returns counters for reporting/asserting coverage."""
+    tables = gen_tables(seed)
+    session = Session()
+    duck = MiniDuck()
+    for name, data in tables.items():
+        session.sql.register_dict(dict(data), name)
+        duck.register(name, dict(data))
+    statements = gen_statements(seed, count)
+    stats = {"statements": 0, "oracle_checked": 0, "oracle_skipped": 0,
+             "engine_only": 0}
+    for case, stmt in enumerate(statements):
+        if only_case is not None and case != only_case:
+            continue
+        stats["statements"] += 1
+        if verbose:
+            print(f"[{seed}:{case}] {stmt.sql}")
+        try:
+            serial = _engine_result(session, stmt.sql, None)
+            sharded = _engine_result(session, stmt.sql, SHARD_CONFIG)
+        except TdpError as exc:
+            raise Divergence(seed, case, stmt,
+                             f"engine rejected generated statement: {exc}")
+        detail = compare_engine_runs(serial, sharded)
+        if detail is not None:
+            raise Divergence(seed, case, stmt, detail)
+        if not stmt.oracle:
+            stats["engine_only"] += 1
+            continue
+        try:
+            oracle = _oracle_result(duck, stmt.sql)
+        except TdpError as exc:
+            # The oracle's surface is narrower by design; skips are counted
+            # and bounded by the caller so grammar drift cannot silently
+            # hollow out the oracle comparison.
+            stats["oracle_skipped"] += 1
+            if verbose:
+                print(f"    oracle skip: {exc}")
+            continue
+        stats["oracle_checked"] += 1
+        detail = compare_with_oracle(serial, oracle, stmt)
+        if detail is not None:
+            raise Divergence(seed, case, stmt, detail)
+    return stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, required=True)
+    parser.add_argument("--count", type=int, default=120)
+    parser.add_argument("--case", type=int, default=None,
+                        help="run only this case index (reproduction)")
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+    try:
+        stats = run_differential(args.seed, args.count, only_case=args.case,
+                                 verbose=args.verbose)
+    except Divergence as exc:
+        print(f"DIVERGENCE\n{exc}")
+        return 1
+    print(f"ok: {stats}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

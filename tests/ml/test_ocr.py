@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.datasets.documents import make_documents, render_dataframe_image
-from repro.datasets.fonts import glyph, render_text
+from repro.datasets.fonts import render_text
 from repro.datasets.iris import FEATURES
 from repro.errors import ExecutionError
 from repro.ml.models.ocr import CharacterOCR, TableDetector, TableExtractor

@@ -1,6 +1,5 @@
 """Binder: name/type resolution, plan shapes, UDF placement rules."""
 
-import numpy as np
 import pytest
 
 from repro.errors import BindError
@@ -9,8 +8,6 @@ from repro.sql import logical
 from repro.sql.binder import Binder
 from repro.sql.parser import parse
 from repro.storage import types as dt
-from repro.storage.encodings import PEEncoding
-from repro.tcr.tensor import Tensor
 
 
 @pytest.fixture

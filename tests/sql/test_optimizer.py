@@ -124,7 +124,6 @@ class TestPushdown:
 class TestPruning:
     def test_scan_narrowed_to_used_columns(self, opt_session):
         plan = bind(opt_session, "SELECT a FROM t WHERE b > 1")
-        scan = find(plan, logical.Scan)[0]
         parent_projects = find(plan, logical.Project)
         # Some projection above the scan keeps only {a, b} (img, s dropped).
         narrowest = min(

@@ -81,7 +81,6 @@ class TestExpressions:
             "SELECT a FROM t WHERE a BETWEEN 1 AND 2 AND b IN (1, 2) "
             "AND c LIKE 'x%' AND d IS NOT NULL AND e NOT IN (3)"
         )
-        text = str(stmt.where)
         conjuncts = []
         def collect(e):
             if isinstance(e, nodes.BinaryOp) and e.op == "AND":

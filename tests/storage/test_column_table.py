@@ -7,8 +7,7 @@ from repro import tcr
 from repro.errors import CatalogError, ShapeError
 from repro.storage import types as dt
 from repro.storage.column import Column
-from repro.storage.encodings import DictionaryEncoding, ProbabilityEncoding, \
-    RunLengthEncoding, PEEncoding
+from repro.storage.encodings import DictionaryEncoding, RunLengthEncoding, PEEncoding
 from repro.storage.frame import DataFrame
 from repro.storage.table import Table
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro import tcr
 from repro.errors import ShapeError, TdpError
-from repro.tcr import nn, ops
+from repro.tcr import nn
 from repro.tcr.nn import functional as F
 from repro.tcr.tensor import Tensor
 

@@ -6,7 +6,6 @@ import pytest
 from repro import tcr
 from repro.errors import TdpError
 from repro.tcr import nn, optim
-from repro.tcr.tensor import Tensor
 
 
 def _fit(optimizer_factory, steps=300):

@@ -5,7 +5,6 @@ import pytest
 
 from repro import tcr
 from repro.errors import AutogradError, DeviceError, ShapeError
-from repro.tcr.tensor import Tensor
 
 
 class TestConstruction:
