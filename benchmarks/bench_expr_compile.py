@@ -1,0 +1,110 @@
+"""Expression-kernel compilation sweep (TQP-style codegen).
+
+Times the tree-walking interpreter against the compiled vectorized kernels
+per expression family, serial and sharded, and emits each speedup into
+``BENCH_RESULTS.json`` so the perf trajectory of the codegen path is
+machine-readable per commit. The hard perf gates live in
+``bench_ablation_operators.py`` (``TestExprCompilation``); this sweep is
+coverage: every family must stay bit-identical between the two engines,
+and the headline numbers are recorded, not gated.
+"""
+
+import numpy as np
+
+from repro.bench.harness import print_table, record_metric, scaled, time_call
+from repro.core.session import Session
+
+N_ROWS = scaled(250_000)
+
+FAMILIES = [
+    ("arith", "SELECT COUNT(*) AS c FROM t "
+              "WHERE (x * 3 - y) / 2 + x % 5 > 0"),
+    ("compare", "SELECT COUNT(*) AS c FROM t "
+                "WHERE x >= -10 AND y < 0.5 AND x != 7"),
+    ("case", "SELECT SUM(CASE WHEN x > 0 THEN y ELSE -y END) AS s FROM t "
+             "WHERE y IS NOT NULL"),
+    ("in_between", "SELECT COUNT(*) AS c FROM t "
+                   "WHERE x IN (1, 2, 3, 5, 8) OR y BETWEEN -0.1 AND 0.1"),
+    ("like", "SELECT COUNT(*) AS c FROM t WHERE s LIKE '%ing' OR s LIKE 'A%'"),
+    ("upper_length", "SELECT COUNT(*) AS c FROM t "
+                     "WHERE UPPER(s) = 'APPLE007' OR LENGTH(s) < 9"),
+    ("builtins", "SELECT SUM(ROUND(SIGMOID(y), 3) + SQRT(ABS(x))) AS s "
+                 "FROM t WHERE x > -40"),
+]
+
+
+def _session():
+    rng = np.random.default_rng(13)
+    vocab = np.asarray(
+        [f"word{i:03d}ing" if i % 3 else f"Apple{i:03d}" for i in range(150)],
+        dtype=object)
+    floats = rng.normal(size=N_ROWS).astype(np.float32)
+    floats[rng.random(N_ROWS) < 0.05] = np.nan
+    session = Session()
+    session.sql.register_dict({
+        "x": rng.integers(-50, 50, size=N_ROWS),
+        "y": floats,
+        "s": vocab[rng.integers(0, len(vocab), size=N_ROWS)],
+    }, "t")
+    return session
+
+
+def _assert_equal(a, b, context):
+    assert list(a.column_names) == list(b.column_names), context
+    for name in a.column_names:
+        av = np.asarray(a.column(name))
+        bv = np.asarray(b.column(name))
+        assert av.dtype == bv.dtype, (context, name, av.dtype, bv.dtype)
+        assert np.array_equal(av, bv, equal_nan=av.dtype.kind == "f"), \
+            (context, name)
+
+
+class TestExprCompileSweep:
+    def test_families_serial(self, benchmark):
+        session = _session()
+        rows = []
+        for family, sql in FAMILIES:
+            off_q = session.sql.query(
+                sql, extra_config={"compile_exprs": False,
+                                   "tensor_cache": False})
+            on_q = session.sql.query(
+                sql, extra_config={"compile_exprs": True,
+                                   "tensor_cache": False})
+            _assert_equal(off_q.run(), on_q.run(), family)
+            off_s = time_call(off_q.run, repeat=3)
+            on_s = time_call(on_q.run, repeat=3)
+            rows.append([family, off_s, on_s, f"{off_s / on_s:.2f}x"])
+            record_metric(f"expr_compile_{family}",
+                          interpreter_s=round(off_s, 5),
+                          compiled_s=round(on_s, 5),
+                          speedup=round(off_s / on_s, 2))
+        print_table(
+            f"Expression kernels vs interpreter ({N_ROWS} rows, serial)",
+            ["family", "interpreter (s)", "compiled (s)", "speedup"], rows,
+        )
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_families_sharded(self, benchmark):
+        """Shards reuse one compiled kernel; per-shard results must stay
+        bit-identical and the speedup must survive the split."""
+        session = _session()
+        shard = {"shards": 4, "parallel_min_rows": 2}
+        rows = []
+        for family, sql in FAMILIES[:4] + FAMILIES[-3:]:
+            off_q = session.sql.query(
+                sql, extra_config={**shard, "compile_exprs": False,
+                                   "tensor_cache": False})
+            on_q = session.sql.query(
+                sql, extra_config={**shard, "compile_exprs": True,
+                                   "tensor_cache": False})
+            _assert_equal(off_q.run(), on_q.run(), family)
+            off_s = time_call(off_q.run, repeat=3)
+            on_s = time_call(on_q.run, repeat=3)
+            rows.append([family, off_s, on_s, f"{off_s / on_s:.2f}x"])
+        print_table(
+            f"Expression kernels vs interpreter ({N_ROWS} rows, shards=4)",
+            ["family", "interpreter (s)", "compiled (s)", "speedup"], rows,
+        )
+        record_metric("expr_compile_sharded_like",
+                      speedup=round(rows[-3][1] / rows[-3][2], 2))
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -35,6 +35,13 @@ from repro.core.operators import (
     TVFExec,
     TopKExec,
 )
+from repro.core.kernels.compiler import compile_filter, compile_projection
+from repro.core.operators.compiled import (
+    CompiledFilterExec,
+    CompiledFusedFilterExec,
+    CompiledFusedFilterProjectExec,
+    CompiledProjectExec,
+)
 from repro.core.operators.fused import can_substitute, substitute_columns
 from repro.sql import logical
 from repro.tcr.device import as_device
@@ -160,6 +167,46 @@ class Compiler:
         # soft/differentiable machinery assumes; everything else fuses by default.
         return self.config.fuse_operators and not self.config.trainable
 
+    @property
+    def _compiling(self) -> bool:
+        # Kernel codegen detaches from autograd, so trainable compilations
+        # always stay on the interpreter (gradients flow through tcr ops).
+        return self.config.compile_exprs and not self.config.trainable
+
+    # Kernel-compiling operator factories: each tries to lower the expression
+    # list into a vectorized kernel and silently keeps the interpreter
+    # operator when any expression shape is unsupported (the plan shows the
+    # choice: compiled operators describe() with a "Compiled" prefix).
+    def _make_filter(self, predicate) -> FilterExec:
+        if self._compiling:
+            kernel = compile_filter([predicate])
+            if kernel is not None:
+                return CompiledFilterExec(predicate, kernel)
+        return FilterExec(predicate)
+
+    def _make_fused_filter(self, predicates) -> FusedFilterExec:
+        if self._compiling:
+            kernel = compile_filter(predicates)
+            if kernel is not None:
+                return CompiledFusedFilterExec(predicates, kernel)
+        return FusedFilterExec(predicates)
+
+    def _make_fused_filter_project(self, predicates, exprs, names) -> FusedFilterProjectExec:
+        if self._compiling:
+            filter_kernel = compile_filter(predicates)
+            project_kernel = compile_projection(exprs, names)
+            if filter_kernel is not None and project_kernel is not None:
+                return CompiledFusedFilterProjectExec(
+                    predicates, exprs, names, filter_kernel, project_kernel)
+        return FusedFilterProjectExec(predicates, exprs, names)
+
+    def _make_project(self, exprs, names) -> ProjectExec:
+        if self._compiling:
+            kernel = compile_projection(exprs, names)
+            if kernel is not None:
+                return CompiledProjectExec(exprs, names, kernel)
+        return ProjectExec(exprs, names)
+
     def _collect_filters(self, plan: logical.Filter):
         """Flatten a chain of Filter nodes into its conjunct list + input.
 
@@ -186,18 +233,18 @@ class Compiler:
         node = self._lower(bottom)
         if not self._fusing:
             for conjunct in predicates:
-                node = ExecNode(FilterExec(conjunct), [node])
+                node = ExecNode(self._make_filter(conjunct), [node])
             return node
         prefix_len = 0
         while prefix_len < len(predicates) and not predicates[prefix_len].contains_udf():
             prefix_len += 1
         prefix, rest = predicates[:prefix_len], predicates[prefix_len:]
         if len(prefix) == 1:
-            node = ExecNode(FilterExec(prefix[0]), [node])
+            node = ExecNode(self._make_filter(prefix[0]), [node])
         elif prefix:
-            node = ExecNode(FusedFilterExec(prefix), [node])
+            node = ExecNode(self._make_fused_filter(prefix), [node])
         for conjunct in rest:
-            node = ExecNode(FilterExec(conjunct), [node])
+            node = ExecNode(self._make_filter(conjunct), [node])
         return node
 
     def _lower_project(self, plan: logical.Project) -> ExecNode:
@@ -215,10 +262,10 @@ class Compiler:
                 predicates, bottom = self._collect_filters(node)
                 if not any(p.contains_udf() for p in predicates):
                     child = self._lower(bottom)
-                    op = FusedFilterProjectExec(predicates, exprs, names)
+                    op = self._make_fused_filter_project(predicates, exprs, names)
                     return ExecNode(op, [child])
         child = self._lower(node)
-        return ExecNode(ProjectExec(exprs, names), [child])
+        return ExecNode(self._make_project(exprs, names), [child])
 
     # ------------------------------------------------------------------
     # Implementation choices (flags + heuristics)

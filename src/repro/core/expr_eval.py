@@ -16,11 +16,19 @@ from typing import List, Optional, Union
 import numpy as np
 
 from repro.core import tensor_cache as tc
+from repro.core.kernels import dates as date_kernels
+from repro.core.kernels import strings as string_kernels
 from repro.errors import ExecutionError
 from repro.sql import bound as b
 from repro.storage import types as dt
 from repro.storage.column import Column
-from repro.storage.encodings import DictionaryEncoding, EncodedTensor, PlainEncoding
+from repro.storage.encodings import (
+    CharCodeEncoding,
+    DatetimeEncoding,
+    DictionaryEncoding,
+    EncodedTensor,
+    PlainEncoding,
+)
 from repro.storage.table import Table
 from repro.tcr import ops
 from repro.tcr.tensor import Tensor
@@ -123,7 +131,7 @@ class ExpressionEvaluator:
                 f"column index {expr.index} out of range for table with "
                 f"{len(columns)} columns"
             )
-        return columns[expr.index]
+        return normalize_strings(columns[expr.index])
 
     def _eval_BLiteral(self, expr: b.BLiteral) -> Value:
         return Scalar(expr.value)
@@ -242,7 +250,10 @@ class ExpressionEvaluator:
             return self._plain(ops.pow(self._to_float(tensors[0]), tensors[1]))
         if name == "ROUND":
             if len(tensors) == 2:
-                digits = float(tensors[1].data.reshape(-1)[0])
+                digits_data = tensors[1].data.reshape(-1)
+                # Zero-row inputs materialize an empty digits column; any
+                # factor yields the same empty output.
+                digits = float(digits_data[0]) if digits_data.size else 0.0
                 factor = 10.0 ** digits
                 return self._plain(ops.div(ops.round(ops.mul(tensors[0], factor)), factor))
             return self._plain(ops.round(tensors[0]))
@@ -298,19 +309,12 @@ class ExpressionEvaluator:
             return Scalar(matched != expr.negated)
         if not isinstance(column.encoding, DictionaryEncoding):
             raise ExecutionError("LIKE requires a string (dictionary-encoded) column")
-        encoding = column.encoding
-        codes = column.tensor.detach().data
-        # Fast path: prefix patterns become a code-range check (dictionary is sorted).
-        if re.fullmatch(r"[^%_]*%", expr.pattern):
-            lo, hi = encoding.prefix_range(expr.pattern[:-1])
-            mask = (codes >= lo) & (codes < hi)
-        else:
-            regex = _like_to_regex(expr.pattern)
-            dict_mask = np.fromiter(
-                (regex.fullmatch(s) is not None for s in encoding.strings),
-                dtype=bool, count=encoding.cardinality,
-            )
-            mask = dict_mask[codes]
+        # Prefix patterns stay a code-range check; everything else runs the
+        # char-code matrix NFA over the dictionary (shared with compiled
+        # kernels, so the two paths are bit-identical by construction).
+        mask = string_kernels.like_mask(column.encoding,
+                                        column.tensor.detach().data,
+                                        expr.pattern)
         if expr.negated:
             mask = ~mask
         return self._plain(Tensor(mask, device=self.device))
@@ -402,16 +406,7 @@ class ExpressionEvaluator:
         return tensor
 
     def _fold_scalars(self, op: str, left: Scalar, right: Scalar) -> Scalar:
-        lv, rv = left.value, right.value
-        table = {
-            "+": lambda: lv + rv, "-": lambda: lv - rv, "*": lambda: lv * rv,
-            "/": lambda: lv / rv, "%": lambda: lv % rv,
-            "=": lambda: lv == rv, "!=": lambda: lv != rv,
-            "<": lambda: lv < rv, "<=": lambda: lv <= rv,
-            ">": lambda: lv > rv, ">=": lambda: lv >= rv,
-            "AND": lambda: bool(lv) and bool(rv), "OR": lambda: bool(lv) or bool(rv),
-        }
-        return Scalar(table[op]())
+        return Scalar(fold_scalars(op, left.value, right.value))
 
     def _compare(self, op: str, left: Value, right: Value) -> Column:
         # Dictionary fast paths: run the comparison on integer codes.
@@ -424,6 +419,18 @@ class ExpressionEvaluator:
                 and isinstance(left, Scalar) and isinstance(left.value, str):
             flipped = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
             return self._compare_dict_literal(flipped[op], right, left.value)
+        # Datetime fast paths: parse the ISO literal once, compare epoch nanos.
+        if isinstance(left, Column) and isinstance(left.encoding, DatetimeEncoding) \
+                and isinstance(right, Scalar) and isinstance(right.value, str):
+            mask = date_kernels.compare_datetime_literal(
+                left.tensor.detach().data, op, right.value)
+            return self._plain(Tensor(mask, device=self.device))
+        if isinstance(right, Column) and isinstance(right.encoding, DatetimeEncoding) \
+                and isinstance(left, Scalar) and isinstance(left.value, str):
+            flipped = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+            mask = date_kernels.compare_datetime_literal(
+                right.tensor.detach().data, flipped[op], left.value)
+            return self._plain(Tensor(mask, device=self.device))
         lt_ = self._numeric_tensor(left)
         rt_ = self._numeric_tensor(right)
         return self._plain(_COMPARE_OPS[op](lt_, rt_))
@@ -479,6 +486,32 @@ class ExpressionEvaluator:
         return self._plain(Tensor(lengths, device=self.device))
 
 
+def normalize_strings(column: Column) -> Column:
+    """Normalise char-code string columns to dictionary form on first touch.
+
+    Every string kernel (LIKE, UPPER/LOWER, code compares) runs on sorted
+    dictionaries; the round-trip is lossless, and the per-pass evaluator
+    memo makes the conversion happen at most once per operator pass.
+    """
+    if isinstance(column.encoding, CharCodeEncoding):
+        return column.to_dictionary()
+    return column
+
+
+def fold_scalars(op: str, lv, rv):
+    """Constant-fold one binary op over python scalar values (shared by the
+    interpreter and the expression compiler so folding cannot drift)."""
+    table = {
+        "+": lambda: lv + rv, "-": lambda: lv - rv, "*": lambda: lv * rv,
+        "/": lambda: lv / rv, "%": lambda: lv % rv,
+        "=": lambda: lv == rv, "!=": lambda: lv != rv,
+        "<": lambda: lv < rv, "<=": lambda: lv <= rv,
+        ">": lambda: lv > rv, ">=": lambda: lv >= rv,
+        "AND": lambda: bool(lv) and bool(rv), "OR": lambda: bool(lv) or bool(rv),
+    }
+    return table[op]()
+
+
 def _cast_scalar(value, target: dt.DataType):
     if target.kind == "int":
         return int(value)
@@ -491,6 +524,9 @@ def _cast_scalar(value, target: dt.DataType):
 
 @functools.lru_cache(maxsize=256)
 def _like_to_regex(pattern: str) -> "re.Pattern":
+    # DOTALL: SQL's % and _ match any character including newlines (the
+    # char-code LIKE kernel has no newline special case; the regex path —
+    # scalar operands and the tests' oracle — must agree).
     out = []
     for ch in pattern:
         if ch == "%":
@@ -499,7 +535,7 @@ def _like_to_regex(pattern: str) -> "re.Pattern":
             out.append(".")
         else:
             out.append(re.escape(ch))
-    return re.compile("".join(out))
+    return re.compile("".join(out), re.DOTALL)
 
 
 # ----------------------------------------------------------------------

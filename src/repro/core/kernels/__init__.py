@@ -1,0 +1,13 @@
+"""Vectorized tensor kernels compiled from bound expression trees.
+
+TQP-style codegen (PAPERS.md): instead of interpreting the expression tree
+node-by-node per batch, each Filter/Project pipeline prefix is lowered once
+at plan time into a single Python callable composed purely of vectorized
+numpy tensor ops. ``ExpressionEvaluator`` remains the fallback interpreter
+and the bit-identity oracle for every kernel (docs/KERNEL_COMPILATION.md).
+
+Import submodules directly (``repro.core.kernels.compiler``,
+``.strings``, ``.dates``): the interpreter itself uses ``strings``/``dates``
+for its string and date kernels, so a re-exporting package init would cycle
+through ``compiler`` back into ``expr_eval``.
+"""

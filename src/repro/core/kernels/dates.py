@@ -1,0 +1,33 @@
+"""Date/time kernels over int64 epoch-nanosecond tensors.
+
+Datetime columns store epoch nanoseconds (``DatetimeEncoding``), the
+paper's integer representation for temporal data: a comparison against a
+date literal parses the literal once and runs a single integer compare over
+the carrier. Shared by the interpreter and the expression compiler so both
+paths are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_COMPARE_NP = {
+    "=": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+}
+
+
+def literal_nanos(text: str) -> int:
+    """Parse an ISO date/timestamp literal to epoch nanoseconds."""
+    return int(np.datetime64(str(text)).astype("datetime64[ns]").astype(np.int64))
+
+
+def compare_datetime_literal(codes: np.ndarray, op: str,
+                             literal: str) -> np.ndarray:
+    """``codes <op> literal`` where codes are epoch nanoseconds."""
+    target = np.asarray(literal_nanos(literal), dtype=np.int64)
+    return _COMPARE_NP[op](codes, target)

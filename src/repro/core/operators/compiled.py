@@ -1,0 +1,108 @@
+"""Kernel-compiled Filter/Project executors.
+
+Each class subclasses its interpreter twin and keeps the parent's
+expression attributes (``predicate``/``predicates``/``exprs``), so every
+structural consumer — the shard planner's row-wise op matching, UDF
+registration, plan-cache reuse, ``soft`` mode lowering — sees the same
+operator shape. Only ``forward`` differs: it runs the plan-time-compiled
+kernel, and any :class:`KernelFallback` (a batch that violates a
+compile-time assumption) re-runs the inherited interpreter forward, which
+is the kernel's bit-identity oracle by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.kernels.compiler import FilterKernel, KernelFallback, ProjectKernel
+from repro.core.operators.base import Relation
+from repro.core.operators.filter import FilterExec
+from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec, _GatherEvaluator
+from repro.core.operators.project import ProjectExec
+from repro.sql import bound as b
+from repro.storage.table import Table
+
+
+class CompiledFilterExec(FilterExec):
+    def __init__(self, predicate: b.BoundExpr, kernel: FilterKernel):
+        super().__init__(predicate)
+        self.kernel = kernel
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        try:
+            mask = self.kernel.mask(evaluator)
+        except KernelFallback:
+            return super().forward(relation)
+        indices = np.flatnonzero(mask)
+        table = relation.table.take(indices)
+        weights = relation.weights[indices] if relation.weights is not None else None
+        return Relation(table, weights)
+
+    def describe(self) -> str:
+        return "Compiled" + super().describe()
+
+
+class CompiledFusedFilterExec(FusedFilterExec):
+    def __init__(self, predicates: List[b.BoundExpr], kernel: FilterKernel):
+        super().__init__(predicates)
+        self.kernel = kernel
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        try:
+            mask = self.kernel.mask(evaluator)
+        except KernelFallback:
+            return super().forward(relation)
+        indices = np.flatnonzero(mask)
+        table = relation.table.take(indices)
+        weights = relation.weights[indices] if relation.weights is not None else None
+        return Relation(table, weights)
+
+    def describe(self) -> str:
+        return "Compiled" + super().describe()
+
+
+class CompiledFusedFilterProjectExec(FusedFilterProjectExec):
+    def __init__(self, predicates: List[b.BoundExpr], exprs: List[b.BoundExpr],
+                 names: List[str], filter_kernel: FilterKernel,
+                 project_kernel: ProjectKernel):
+        super().__init__(predicates, exprs, names)
+        self.filter_kernel = filter_kernel
+        self.project_kernel = project_kernel
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        try:
+            mask = self.filter_kernel.mask(evaluator)
+            indices = np.flatnonzero(mask)
+            projected = _GatherEvaluator(relation.table, indices)
+            columns = self.project_kernel.columns(projected)
+        except KernelFallback:
+            return super().forward(relation)
+        weights = relation.weights[indices] if relation.weights is not None else None
+        return Relation(Table(relation.table.name, columns), weights)
+
+    def describe(self) -> str:
+        return "Compiled" + super().describe()
+
+
+class CompiledProjectExec(ProjectExec):
+    def __init__(self, exprs: List[b.BoundExpr], names: List[str],
+                 kernel: ProjectKernel):
+        super().__init__(exprs, names)
+        self.kernel = kernel
+
+    def forward(self, relation: Relation) -> Relation:
+        evaluator = ExpressionEvaluator(relation.table)
+        try:
+            columns = self.kernel.columns(evaluator)
+        except KernelFallback:
+            return super().forward(relation)
+        return Relation(Table(relation.table.name, columns), relation.weights)
+
+    def describe(self) -> str:
+        return "Compiled" + super().describe()

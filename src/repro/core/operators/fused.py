@@ -15,7 +15,7 @@ from typing import List
 
 import numpy as np
 
-from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.expr_eval import ExpressionEvaluator, normalize_strings
 from repro.core.operators.base import Operator, Relation
 from repro.errors import ExecutionError
 from repro.sql import bound as b
@@ -101,7 +101,7 @@ class _GatherEvaluator(ExpressionEvaluator):
                     f"column index {expr.index} out of range for table with "
                     f"{len(columns)} columns"
                 )
-            column = columns[expr.index].take(self.indices)
+            column = normalize_strings(columns[expr.index].take(self.indices))
             self._gathered[expr.index] = column
         return column
 

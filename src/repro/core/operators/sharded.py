@@ -23,6 +23,7 @@ the query runs with ``shards > 1``:
 
 from __future__ import annotations
 
+import time
 from typing import List, Optional
 
 from repro.core import tensor_cache as tc
@@ -150,15 +151,24 @@ class ShardedScanExec(_ShardedBase):
     def forward(self, relation=None) -> Relation:
         base = self.scan(None)
         bounds = self._bounds(base.num_rows)
+        # Every pipeline execution (serial or per shard) feeds the pool's
+        # per-row cost EMA, which resolves parallel_min_rows="auto".
         if len(bounds) <= 1:
-            return self._run_pipeline(base)
+            start = time.perf_counter()
+            result = self._run_pipeline(base)
+            self.pool.observe_pipeline(base.num_rows,
+                                       time.perf_counter() - start)
+            return result
         tables = shard_slices(base.table, bounds)
 
         def make_task(table):
             def task():
+                start = time.perf_counter()
                 try:
                     return self._run_pipeline(Relation(table))
                 finally:
+                    self.pool.observe_pipeline(table.num_rows,
+                                               time.perf_counter() - start)
                     _finish_batcher_statement()
             return task
 

@@ -178,6 +178,12 @@ class ShardPool:
     own unclaimed tasks to execute.
     """
 
+    # Rough fixed cost of dispatching one shard batch (task creation,
+    # context copy, queue signalling) — the break-even numerator for the
+    # adaptive min-rows threshold.
+    DISPATCH_COST_S = 2e-4
+    _EMA_WEIGHT = 0.2
+
     def __init__(self, workers: Optional[int] = None,
                  idle_timeout: float = 5.0):
         self.workers = default_shards() if workers is None else max(int(workers), 0)
@@ -188,6 +194,43 @@ class ShardPool:
         self.batches = 0
         self.tasks_run = 0
         self.helper_tasks = 0
+        # Observed per-row pipeline cost (seconds/row EMA) feeding the
+        # "auto" parallel_min_rows resolution.
+        self._cost_lock = threading.Lock()
+        self._per_row_cost: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Adaptive sharding threshold
+    # ------------------------------------------------------------------
+    def observe_pipeline(self, rows: int, seconds: float) -> None:
+        """Fold one pipeline execution into the per-row cost EMA."""
+        if rows <= 0 or seconds <= 0:
+            return
+        cost = seconds / rows
+        with self._cost_lock:
+            if self._per_row_cost is None:
+                self._per_row_cost = cost
+            else:
+                self._per_row_cost += self._EMA_WEIGHT * (cost - self._per_row_cost)
+
+    def adaptive_min_rows(self, default: int = 64) -> int:
+        """Break-even sharding threshold from the observed per-row cost.
+
+        The raw break-even point (dispatch cost / per-row cost) is rounded
+        *up* to a power of two and clamped to [16, 65536]: quantizing keeps
+        the resolved value — which enters plan-cache fingerprints — in a
+        handful of buckets instead of one per observation, so the cache
+        does not churn as the EMA drifts.
+        """
+        with self._cost_lock:
+            cost = self._per_row_cost
+        if cost is None or cost <= 0:
+            return int(default)
+        raw = self.DISPATCH_COST_S / cost
+        threshold = 16
+        while threshold < raw and threshold < 65536:
+            threshold <<= 1
+        return threshold
 
     # ------------------------------------------------------------------
     def _spawn_helpers(self, wanted: int) -> None:

@@ -646,14 +646,22 @@ def _assemble_udf_columns(pieces: list, num_rows: int) -> Optional[List[Column]]
 # Encoder memoisation (installed on two-tower models at UDF registration)
 # ----------------------------------------------------------------------
 def install_encoder_memo(model) -> None:
-    """Wrap ``model.encode_image`` with an active-cache-aware memo.
+    """Wrap a model's encoder entry points with active-cache-aware memos.
 
-    The wrapper is transparent: it defers to the original method whenever no
-    cache is active, gradients are being recorded, the model is in training
-    mode, or the input tensor carries no content tag. Installed once per
-    model (idempotent) when a *deterministic* UDF carrying the model is
-    registered.
+    ``encode_image`` memoises on the input tensor's content tag;
+    ``encode_text`` memoises on the literal text tuple (query strings are
+    tiny and recur across statements — SELECT lists repeating one query, the
+    vector index's probe encoding, repeated session calls). Both wrappers
+    are transparent: they defer to the original method whenever no cache is
+    active, gradients are being recorded, or the model is in training mode.
+    Installed once per model (idempotent) when a *deterministic* UDF
+    carrying the model is registered.
     """
+    _install_image_memo(model)
+    _install_text_memo(model)
+
+
+def _install_image_memo(model) -> None:
     current = getattr(model, "encode_image", None)
     if current is None or getattr(current, "__tdp_encoder_orig__", None) is not None:
         return
@@ -690,3 +698,45 @@ def install_encoder_memo(model) -> None:
 
     encode_image.__tdp_encoder_orig__ = orig
     model.encode_image = encode_image
+
+
+def _install_text_memo(model) -> None:
+    current = getattr(model, "encode_text", None)
+    if current is None or getattr(current, "__tdp_encoder_orig__", None) is not None:
+        return
+    orig = current
+
+    def _forward(texts, device):
+        # Preserve the wrapped model's call shape: most test/user encoders
+        # are ``encode_text(texts)`` with no device parameter, so the kwarg
+        # is only forwarded when the caller actually supplied one.
+        if device is None:
+            return orig(texts)
+        return orig(texts, device=device)
+
+    def encode_text(texts, device=None):
+        cache = _ACTIVE.get()
+        if cache is not None and cache.max_bytes <= 0:
+            cache = None
+        if (cache is None or is_grad_enabled()
+                or getattr(model, "training", False)):
+            return _forward(texts, device)
+        try:
+            text_key = tuple(texts)
+        except TypeError:
+            return _forward(texts, device)
+        token = identity_token(model)
+        key = ("text", token, cache.model_state_fp(model), text_key,
+               str(device))
+        with cache._lock:
+            entry = cache._touch(key)
+            if entry is not None:
+                cache.hits += 1
+                return entry.value
+            cache.misses += 1
+        out = _forward(texts, device)
+        cache.put(key, out.detach(), out.detach().data.nbytes)
+        return out
+
+    encode_text.__tdp_encoder_orig__ = orig
+    model.encode_text = encode_text

@@ -163,7 +163,7 @@ class FunctionRegistry:
                 # share corpus embeddings (see repro.core.tensor_cache).
                 from repro.core.tensor_cache import install_encoder_memo
                 for module in info.modules:
-                    if hasattr(module, "encode_image"):
+                    if hasattr(module, "encode_image") or hasattr(module, "encode_text"):
                         install_encoder_memo(module)
 
     def lookup(self, name: str) -> Optional[UdfInfo]:

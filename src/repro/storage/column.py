@@ -15,6 +15,8 @@ import numpy as np
 
 from repro.storage import types as dt
 from repro.storage.encodings import (
+    CharCodeEncoding,
+    DatetimeEncoding,
     DictionaryEncoding,
     EncodedTensor,
     Encoding,
@@ -118,6 +120,8 @@ class Column:
         array = np.asarray(values)
         if array.dtype.kind in ("U", "S", "O"):
             return Column(name, DictionaryEncoding.encode(list(array), device=device))
+        if array.dtype.kind == "M":
+            return Column(name, DatetimeEncoding.encode(array, device=device))
         return Column(name, PlainEncoding.encode(array, device=device))
 
     # ------------------------------------------------------------------
@@ -142,7 +146,11 @@ class Column:
     @property
     def data_type(self) -> dt.DataType:
         enc = self.encoding
-        if isinstance(enc, DictionaryEncoding):
+        if isinstance(enc, (DictionaryEncoding, CharCodeEncoding)):
+            return dt.STRING
+        if isinstance(enc, DatetimeEncoding):
+            # Datetimes bind as strings (comparisons against ISO literals);
+            # execution dispatches on the encoding, not the logical kind.
             return dt.STRING
         if isinstance(enc, ProbabilityEncoding):
             return dt.prob_type(enc.num_classes)
@@ -227,6 +235,27 @@ class Column:
     def with_tensor(self, tensor: Tensor) -> "Column":
         """Replace the carrier tensor, keeping name and encoding."""
         return Column(self.name, EncodedTensor(tensor, self.encoding))
+
+    def to_char_codes(self) -> "Column":
+        """Re-encode a string column as a padded char-code matrix (lossless)."""
+        if isinstance(self.encoding, CharCodeEncoding):
+            return self
+        if not isinstance(self.encoding, DictionaryEncoding):
+            raise ValueError("to_char_codes requires a string column")
+        return Column(self.name, CharCodeEncoding.from_dictionary(self.encoded))
+
+    def to_dictionary(self) -> "Column":
+        """Re-encode a char-code string column as sorted-dictionary codes.
+
+        Lineage is preserved: the carrier changes representation, not the
+        logical row values, so materialization-cache keys stay valid.
+        """
+        if isinstance(self.encoding, DictionaryEncoding):
+            return self
+        if not isinstance(self.encoding, CharCodeEncoding):
+            raise ValueError("to_dictionary requires a string column")
+        return Column(self.name, self.encoding.to_dictionary(self.tensor),
+                      self.lineage)
 
     def __repr__(self) -> str:
         return f"Column({self.name!r}, type={self.data_type}, rows={self.num_rows})"

@@ -1,12 +1,16 @@
 """Column encodings (paper §2, "Data Encoding")."""
 
 from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.storage.encodings.charcodes import CharCodeEncoding
+from repro.storage.encodings.datetime import DatetimeEncoding
 from repro.storage.encodings.dictionary import DictionaryEncoding
 from repro.storage.encodings.plain import PlainEncoding
 from repro.storage.encodings.probability import PEEncoding, ProbabilityEncoding
 from repro.storage.encodings.runlength import RunLengthEncoding
 
 __all__ = [
+    "CharCodeEncoding",
+    "DatetimeEncoding",
     "DictionaryEncoding",
     "EncodedTensor",
     "Encoding",

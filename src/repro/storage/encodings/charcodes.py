@@ -1,0 +1,78 @@
+"""Char-code string encoding: the carrier *is* the padded code-point matrix.
+
+Where :class:`DictionaryEncoding` stores integer codes into a sorted
+dictionary, this encoding stores each row's string directly as a row of the
+``(num_rows, max_len)`` uint32 zero-padded matrix — the paper's tensor-native
+string representation, useful when values are near-unique and a dictionary
+would be as large as the data. The round-trip to dictionary form is lossless
+(the engine's string codec never stores NUL, so padding is unambiguous), and
+expression evaluation normalises char-code columns to dictionary form on
+first touch so every string kernel applies unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.storage.encodings.dictionary import (
+    DictionaryEncoding,
+    _codepoints_to_strings,
+    _strings_to_codepoints,
+)
+from repro.tcr.tensor import Tensor
+
+
+class CharCodeEncoding(Encoding):
+    """Strings stored as one zero-padded char-code row per table row."""
+
+    name = "charcode"
+
+    def validate(self, tensor: Tensor) -> None:
+        if tensor.ndim != 2:
+            raise EncodingError("char-code column must be a 2-d code-point tensor")
+        if tensor.dtype.kind not in "iu":
+            raise EncodingError("char codes must be integers")
+
+    def decode(self, tensor: Tensor) -> np.ndarray:
+        return _codepoints_to_strings(tensor.detach().data)
+
+    @staticmethod
+    def encode(values: Iterable[str], device=None) -> EncodedTensor:
+        values = ["" if v is None else str(v) for v in values]
+        matrix = _strings_to_codepoints(values)
+        return EncodedTensor(Tensor(matrix, device=device), CharCodeEncoding())
+
+    # ------------------------------------------------------------------
+    # Lossless round-trip to the dictionary representation
+    # ------------------------------------------------------------------
+    def to_dictionary(self, tensor: Tensor) -> EncodedTensor:
+        """Re-encode a char-code carrier as sorted-dictionary codes.
+
+        Zero padding sorts below every code point, so the lexicographically
+        sorted unique rows are exactly the sorted distinct strings; the
+        unique-inverse is therefore the code vector.
+        """
+        matrix = tensor.detach().data
+        device = tensor.device
+        if matrix.shape[0] == 0:
+            return DictionaryEncoding.encode([], device=device)
+        uniques, inverse = np.unique(matrix, axis=0, return_inverse=True)
+        dictionary = Tensor(np.ascontiguousarray(uniques, dtype=np.uint32),
+                            device=device)
+        return EncodedTensor(
+            Tensor(inverse.reshape(-1).astype(np.int64), device=device),
+            DictionaryEncoding(dictionary))
+
+    @staticmethod
+    def from_dictionary(encoded: EncodedTensor) -> EncodedTensor:
+        """Expand dictionary codes into the row-wise char-code matrix."""
+        if not isinstance(encoded.encoding, DictionaryEncoding):
+            raise EncodingError("from_dictionary expects a dictionary-encoded tensor")
+        codes = encoded.tensor.detach().data
+        matrix = encoded.encoding.dictionary.detach().data[codes]
+        return EncodedTensor(Tensor(np.ascontiguousarray(matrix),
+                                    device=encoded.device), CharCodeEncoding())

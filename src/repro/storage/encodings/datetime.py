@@ -1,0 +1,37 @@
+"""Datetime encoding: int64 epoch-nanosecond carrier.
+
+Dates and timestamps are stored as the paper stores them — plain integer
+tensors (epoch nanoseconds) — so temporal comparisons, sorts and group-bys
+run as ordinary int64 tensor ops. ``decode`` restores ``datetime64[ns]``;
+comparisons against ISO string literals go through
+``repro.core.kernels.dates`` in both the interpreter and compiled kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.storage.encodings.base import EncodedTensor, Encoding
+from repro.tcr.tensor import Tensor
+
+
+class DatetimeEncoding(Encoding):
+    """1-d int64 epoch-nanosecond carrier for datetime columns."""
+
+    name = "datetime"
+
+    def validate(self, tensor: Tensor) -> None:
+        if tensor.ndim != 1:
+            raise EncodingError("datetime column must be a 1-d tensor")
+        if tensor.dtype.kind != "i":
+            raise EncodingError("datetime carrier must be signed integers")
+
+    def decode(self, tensor: Tensor) -> np.ndarray:
+        return tensor.detach().data.astype("datetime64[ns]")
+
+    @staticmethod
+    def encode(values, device=None) -> EncodedTensor:
+        array = np.asarray(values).astype("datetime64[ns]")
+        return EncodedTensor(Tensor(array.astype(np.int64), device=device),
+                             DatetimeEncoding())

@@ -1,0 +1,335 @@
+"""Targeted tests for the expression-kernel compiler (TQP-style codegen).
+
+Covers the contracts the differential harness cannot pin down one by one:
+
+* the char-code LIKE kernel against a ground-truth SQL LIKE oracle,
+  including the newline behaviour the old regex lowering (no ``DOTALL``)
+  got wrong, wildcards, and regex metacharacters in patterns;
+* plan-time fallback — unsupported expression shapes compile to the plain
+  interpreted operators (no ``Compiled*`` in the plan) with equal results;
+* runtime fallback — a kernel raising :class:`KernelFallback` mid-query
+  silently re-runs the interpreted operator, bit-identically;
+* ``compile_exprs`` enters the plan-cache fingerprint, so flipping it can
+  never serve a plan compiled under the other mode;
+* the session memo for ``encode_text`` (satellite of the kernel work);
+* adaptive ``parallel_min_rows="auto"``: per-row cost EMA, power-of-two
+  quantization, and resolution *before* the plan-cache key is built.
+"""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.core.config import QueryConfig
+from repro.core.kernels import strings as string_kernels
+from repro.core.kernels.compiler import (
+    FilterKernel,
+    KernelFallback,
+    ProjectKernel,
+)
+from repro.core.partition import ShardPool
+from repro.core.session import Session
+from repro.storage.column import Column
+from repro.tcr import nn
+from repro.tcr.tensor import Tensor
+
+
+def _snapshot(result):
+    return {name: np.asarray(result.column(name))
+            for name in result.column_names}
+
+
+def _assert_equal_results(a, b, context=""):
+    assert list(a) == list(b), context
+    for name in a:
+        av, bv = a[name], b[name]
+        assert av.dtype == bv.dtype, (context, name, av.dtype, bv.dtype)
+        if av.dtype.kind == "f":
+            assert np.array_equal(av, bv, equal_nan=True), (context, name)
+        else:
+            assert np.array_equal(av, bv), (context, name)
+
+
+# ----------------------------------------------------------------------
+# LIKE: char-code kernel vs. ground truth
+# ----------------------------------------------------------------------
+LIKE_CORPUS = [
+    "", "a", "ant", "bee", "a%t", "a_t", "a\nb", "ab\ncd", "\n",
+    "A.b", "a*b", "[ant]", "(a)", "a+b", "a\\b", "aa", "ant bee", "tt",
+]
+LIKE_PATTERNS = [
+    "%", "_", "", "a%", "%t", "a_t", "__", "%%", "a%_t", "%a%t%",
+    "%\n%", "_\n_", "a.b", "a*b", "[%]", "(a)", "a+b", "a\\b", "%.%",
+]
+
+
+def _like_oracle(value: str, pattern: str) -> bool:
+    """SQL LIKE ground truth: % and _ match ANY character, newlines
+    included; everything else is a literal."""
+    regex = "".join(
+        ".*" if ch == "%" else "." if ch == "_" else re.escape(ch)
+        for ch in pattern)
+    return re.fullmatch(regex, value, re.DOTALL) is not None
+
+
+class TestLikeKernel:
+    def _column(self):
+        return Column.from_values(
+            "s", np.asarray(LIKE_CORPUS, dtype=object))
+
+    @pytest.mark.parametrize("pattern", LIKE_PATTERNS)
+    def test_matrix_kernel_matches_oracle(self, pattern):
+        column = self._column()
+        codes = np.asarray(column.tensor.detach().data)
+        mask = string_kernels.like_mask(column.encoding, codes, pattern)
+        expected = np.asarray(
+            [_like_oracle(v, pattern) for v in LIKE_CORPUS])
+        assert np.array_equal(mask, expected), pattern
+
+    def test_wildcards_match_newlines_unlike_old_regex(self):
+        """Regression: the old lowering compiled % -> ".*" and _ -> "."
+        without re.DOTALL, so wildcards silently refused to cross
+        newlines. SQL LIKE has no such rule."""
+        assert re.fullmatch(".*", "a\nb") is None          # the old bug
+        column = self._column()
+        codes = np.asarray(column.tensor.detach().data)
+        mask = string_kernels.like_mask(column.encoding, codes, "%")
+        assert mask.all()
+        under = string_kernels.like_mask(column.encoding, codes, "_\n_")
+        assert under[LIKE_CORPUS.index("a\nb")]
+        assert not under[LIKE_CORPUS.index("ant")]
+
+    @pytest.mark.parametrize("pattern", LIKE_PATTERNS)
+    def test_sql_like_matches_oracle_both_engines(self, pattern):
+        if "\\" in pattern or "\n" in pattern:
+            pytest.skip("not expressible as a plain SQL literal here")
+        session = Session()
+        session.sql.register_dict(
+            {"id": np.arange(len(LIKE_CORPUS), dtype=np.int64),
+             "s": np.asarray(LIKE_CORPUS, dtype=object)}, "t")
+        expected = [i for i, v in enumerate(LIKE_CORPUS)
+                    if _like_oracle(v, pattern)]
+        stmt = f"SELECT id FROM t WHERE s LIKE '{pattern}'"
+        for extra in ({"compile_exprs": False}, {"compile_exprs": True}):
+            got = session.sql.query(stmt, extra_config=extra).run()
+            assert got.column("id").tolist() == expected, (pattern, extra)
+
+
+# ----------------------------------------------------------------------
+# Fallback contracts
+# ----------------------------------------------------------------------
+def _numbers_session(n=32):
+    session = Session()
+    session.sql.register_dict({
+        "id": np.arange(n, dtype=np.int64),
+        "x": (np.arange(n, dtype=np.int64) * 7) % 11 - 5,
+        "s": np.asarray([("ant", "bee", "cat")[i % 3] for i in range(n)],
+                        dtype=object),
+    }, "t")
+    return session
+
+
+class TestFallbacks:
+    def test_compiled_operators_appear_in_plan(self):
+        session = _numbers_session()
+        query = session.sql.query(
+            "SELECT id, x + 1 AS v FROM t WHERE x > 0",
+            extra_config={"compile_exprs": True})
+        assert "Compiled" in query.explain()
+        off = session.sql.query(
+            "SELECT id, x + 1 AS v FROM t WHERE x > 0",
+            extra_config={"compile_exprs": False})
+        assert "Compiled" not in off.explain()
+
+    def test_plan_time_fallback_on_unsupported_projection(self):
+        """CAST to a string target has no kernel lowering: the planner must
+        keep the interpreted operator, and results must not change."""
+        session = _numbers_session()
+        stmt = "SELECT id, CAST(x AS STRING) AS sx FROM t WHERE x > 0"
+        compiled = session.sql.query(stmt,
+                                     extra_config={"compile_exprs": True})
+        # The operator producing `sx` stays interpreted; inner pruning
+        # projections without the cast may still compile.
+        sx_ops = [line for line in compiled.explain().splitlines()
+                  if "sx" in line and "(" in line]
+        assert sx_ops and all("Compiled" not in line for line in sx_ops), \
+            compiled.explain()
+        base = session.sql.query(stmt, extra_config={"compile_exprs": False})
+        _assert_equal_results(_snapshot(base.run()),
+                              _snapshot(compiled.run()), stmt)
+
+    def test_runtime_filter_fallback(self, monkeypatch):
+        """A KernelFallback raised while the query runs re-executes the
+        interpreted operator — same bits, no error."""
+        session = _numbers_session()
+        stmt = "SELECT id, x * 2 AS v FROM t WHERE x > 0 AND s = 'ant'"
+        expected = _snapshot(session.sql.query(
+            stmt, extra_config={"compile_exprs": False}).run())
+        query = session.sql.query(stmt, extra_config={"compile_exprs": True})
+        assert "Compiled" in query.explain()
+
+        def boom(self, evaluator):
+            raise KernelFallback("forced by test")
+
+        monkeypatch.setattr(FilterKernel, "mask", boom)
+        _assert_equal_results(expected, _snapshot(query.run()), stmt)
+
+    def test_runtime_project_fallback(self, monkeypatch):
+        session = _numbers_session()
+        stmt = "SELECT id, x * 2 AS v FROM t WHERE x > 0"
+        expected = _snapshot(session.sql.query(
+            stmt, extra_config={"compile_exprs": False}).run())
+        query = session.sql.query(stmt, extra_config={"compile_exprs": True})
+
+        def boom(self, evaluator):
+            raise KernelFallback("forced by test")
+
+        monkeypatch.setattr(ProjectKernel, "columns", boom)
+        _assert_equal_results(expected, _snapshot(query.run()), stmt)
+
+
+# ----------------------------------------------------------------------
+# Plan-cache interaction
+# ----------------------------------------------------------------------
+class TestPlanCacheFingerprint:
+    def test_compile_exprs_flips_cache_key(self):
+        session = _numbers_session()
+        stmt = "SELECT id FROM t WHERE x > 0"
+        q_on = session.compile_query(stmt,
+                                     extra_config={"compile_exprs": True})
+        q_off = session.compile_query(stmt,
+                                      extra_config={"compile_exprs": False})
+        assert q_on is not q_off
+        assert "Compiled" in q_on.explain()
+        assert "Compiled" not in q_off.explain()
+        # Both plans are cached under distinct keys and re-served.
+        assert session.compile_query(
+            stmt, extra_config={"compile_exprs": True}) is q_on
+        assert session.compile_query(
+            stmt, extra_config={"compile_exprs": False}) is q_off
+
+    def test_fingerprint_differs(self):
+        on = QueryConfig({"compile_exprs": True})
+        off = QueryConfig({"compile_exprs": False})
+        assert on.fingerprint() != off.fingerprint()
+
+
+# ----------------------------------------------------------------------
+# encode_text session memo (satellite)
+# ----------------------------------------------------------------------
+class TestEncodeTextMemo:
+    def _session(self):
+        session = Session()
+        calls = []
+
+        class TextTower(nn.Module):
+            def encode_text(self, texts):
+                calls.append(tuple(texts))
+                out = np.asarray([[float(len(t)), 1.0] for t in texts],
+                                 dtype=np.float32)
+                return Tensor(out)
+
+        model = TextTower()
+        session.sql.register_dict(
+            {"emb": np.ones((6, 2), dtype=np.float32)}, "docs")
+
+        @session.udf("float", name="txt_score", modules=[model])
+        def txt_score(query: str, emb: Tensor) -> Tensor:
+            txt = model.encode_text([query])
+            from repro.tcr import ops
+            return ops.matmul(emb, ops.reshape(txt, (-1, 1))).reshape(-1)
+
+        return session, model, calls
+
+    def test_repeated_queries_encode_once(self):
+        session, model, calls = self._session()
+        stmt = "SELECT txt_score('hello', emb) AS s FROM docs"
+        first = session.sql.query(stmt).run().column("s")
+        second = session.sql.query(stmt).run().column("s")
+        assert calls == [("hello",)]      # second run served from the memo
+        np.testing.assert_array_equal(first, second)
+
+    def test_distinct_texts_miss(self):
+        session, model, calls = self._session()
+        session.sql.query("SELECT txt_score('aa', emb) AS s FROM docs").run()
+        session.sql.query("SELECT txt_score('bb', emb) AS s FROM docs").run()
+        assert calls == [("aa",), ("bb",)]
+
+    def test_cache_disabled_bypasses_memo(self):
+        session, model, calls = self._session()
+        stmt = "SELECT txt_score('hello', emb) AS s FROM docs"
+        off = {"tensor_cache": False}
+        session.sql.query(stmt, extra_config=off).run()
+        first = len(calls)
+        assert first >= 1 and set(calls) == {("hello",)}
+        session.sql.query(stmt, extra_config=off).run()
+        # No active cache, no memo: the second run re-encodes everything.
+        assert len(calls) == 2 * first
+
+    def test_wrapper_installs_once(self):
+        session, model, calls = self._session()
+        assert getattr(model.encode_text, "__tdp_encoder_orig__", None) \
+            is not None
+        # Re-registering a UDF over the same module must not double-wrap.
+        before = model.encode_text
+
+        @session.udf("float", name="txt_score2", modules=[model])
+        def txt_score2(query: str, emb: Tensor) -> Tensor:
+            from repro.tcr import ops
+            txt = model.encode_text([query])
+            return ops.matmul(emb, ops.reshape(txt, (-1, 1))).reshape(-1)
+
+        assert model.encode_text is before
+
+
+# ----------------------------------------------------------------------
+# Adaptive parallel_min_rows (satellite)
+# ----------------------------------------------------------------------
+class TestAdaptiveMinRows:
+    def test_config_accepts_auto(self):
+        config = QueryConfig({"parallel_min_rows": "auto"})
+        assert config.adaptive_min_rows
+        assert config.parallel_min_rows == 64     # static default until resolved
+        resolved = config.with_resolved_min_rows(128)
+        assert not resolved.adaptive_min_rows
+        assert resolved.parallel_min_rows == 128
+        assert resolved.fingerprint() != config.fingerprint()
+
+    def test_pool_quantizes_to_power_of_two(self):
+        pool = ShardPool()
+        assert pool.adaptive_min_rows() == 64     # no observations: default
+        # Expensive rows: break-even at one row still floors at 16.
+        pool.observe_pipeline(10, 10 * ShardPool.DISPATCH_COST_S)
+        assert pool.adaptive_min_rows() == 16
+        # Cheap rows: raw break-even 2e5 rows clamps at 65536.
+        pool = ShardPool()
+        for _ in range(64):
+            pool.observe_pipeline(1_000_000, 1e-3)
+        assert pool.adaptive_min_rows() == 65536
+        # Mid-range cost lands on the enclosing power of two.
+        pool = ShardPool()
+        for _ in range(64):
+            pool.observe_pipeline(100, 100 * ShardPool.DISPATCH_COST_S / 48)
+        assert pool.adaptive_min_rows() == 64
+
+    def test_observation_guards(self):
+        pool = ShardPool()
+        pool.observe_pipeline(0, 1.0)
+        pool.observe_pipeline(10, 0.0)
+        assert pool.adaptive_min_rows() == 64     # garbage ignored
+
+    def test_auto_resolves_before_cache_key(self):
+        """Plans compiled under different observed thresholds must cache
+        separately — the resolved value enters the fingerprint."""
+        session = _numbers_session()
+        stmt = "SELECT id FROM t WHERE x > 0"
+        extra = {"parallel_min_rows": "auto", "shards": 2}
+        q1 = session.compile_query(stmt, extra_config=extra)
+        assert session.compile_query(stmt, extra_config=extra) is q1
+        # Drive the EMA far enough that "auto" resolves to a new bucket.
+        for _ in range(64):
+            session.shard_pool.observe_pipeline(1_000_000, 1e-3)
+        assert session.shard_pool.adaptive_min_rows() != 64
+        q2 = session.compile_query(stmt, extra_config=extra)
+        assert q2 is not q1

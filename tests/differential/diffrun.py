@@ -1,12 +1,18 @@
-"""Three-way differential runner: engine shards=1, engine shards=4, miniduck.
+"""Multi-way differential runner: engine interpreter/kernels × serial/sharded,
+plus the miniduck oracle.
 
 ``run_differential(seed, count)`` executes every generated statement:
 
-1. engine ``shards=1`` (plain serial execution),
-2. engine ``shards=4`` with a tiny ``parallel_min_rows`` so even small
-   tables actually split — compared **bitwise** (values, dtypes, row order)
-   against (1): sharded execution must be indistinguishable from serial;
-3. the ``baselines.miniduck`` oracle — compared after order normalisation
+1. engine ``shards=1`` with ``compile_exprs=False`` (the serial interpreter —
+   the base every other engine leg is compared **bitwise** against),
+2. engine ``shards=4`` (interpreter) with a tiny ``parallel_min_rows`` so
+   even small tables actually split: sharded execution must be
+   indistinguishable from serial;
+3. & 4. the same two configurations with ``compile_exprs=True`` (vectorized
+   expression kernels): compiled execution must be bitwise-indistinguishable
+   from the interpreter at every shard count. These legs are skipped when
+   ``REPRO_COMPILE_EXPRS=0`` (the CI matrix runs both settings);
+5. the ``baselines.miniduck`` oracle — compared after order normalisation
    on the statement's exact-typed key columns, NaN-aware, with the float
    tolerance documented in ``ALLOWLIST``.
 
@@ -47,9 +53,17 @@ from repro.baselines.miniduck import MiniDuck  # noqa: E402
 from repro.core.session import Session  # noqa: E402
 from repro.errors import TdpError  # noqa: E402
 
-SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2}
+SERIAL_CONFIG = {"compile_exprs": False}
+SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2, "compile_exprs": False}
+KERNEL_CONFIG = {"compile_exprs": True}
+KERNEL_SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2,
+                       "compile_exprs": True}
 FLOAT_RTOL = 1e-4
 FLOAT_ATOL = 1e-6
+
+
+def _kernel_legs_enabled() -> bool:
+    return os.environ.get("REPRO_COMPILE_EXPRS", "1") != "0"
 
 
 class Divergence(Exception):
@@ -91,15 +105,16 @@ def _bitwise_equal(a: np.ndarray, b: np.ndarray) -> bool:
 
 
 def compare_engine_runs(serial: Dict[str, np.ndarray],
-                        sharded: Dict[str, np.ndarray]) -> Optional[str]:
-    """Bitwise comparison (the shard-invariance contract). Returns a
+                        other: Dict[str, np.ndarray],
+                        label: str = "shards=4") -> Optional[str]:
+    """Bitwise comparison (the shard/kernel-invariance contract). Returns a
     description of the first difference, or None."""
-    if list(serial) != list(sharded):
-        return f"column sets differ: {list(serial)} vs {list(sharded)}"
+    if list(serial) != list(other):
+        return f"column sets differ: {list(serial)} vs {list(other)}"
     for name in serial:
-        if not _bitwise_equal(serial[name], sharded[name]):
-            return (f"column {name!r} differs between shards=1 and shards=4: "
-                    f"{serial[name][:8]!r} vs {sharded[name][:8]!r}")
+        if not _bitwise_equal(serial[name], other[name]):
+            return (f"column {name!r} differs between base and {label}: "
+                    f"{serial[name][:8]!r} vs {other[name][:8]!r}")
     return None
 
 
@@ -168,8 +183,9 @@ def run_differential(seed: int, count: int = 120,
         session.sql.register_dict(dict(data), name)
         duck.register(name, dict(data))
     statements = gen_statements(seed, count)
+    kernel_legs = _kernel_legs_enabled()
     stats = {"statements": 0, "oracle_checked": 0, "oracle_skipped": 0,
-             "engine_only": 0}
+             "engine_only": 0, "kernel_checked": 0}
     for case, stmt in enumerate(statements):
         if only_case is not None and case != only_case:
             continue
@@ -177,14 +193,21 @@ def run_differential(seed: int, count: int = 120,
         if verbose:
             print(f"[{seed}:{case}] {stmt.sql}")
         try:
-            serial = _engine_result(session, stmt.sql, None)
-            sharded = _engine_result(session, stmt.sql, SHARD_CONFIG)
+            serial = _engine_result(session, stmt.sql, SERIAL_CONFIG)
+            legs = [("shards=4", SHARD_CONFIG)]
+            if kernel_legs:
+                legs += [("kernels shards=1", KERNEL_CONFIG),
+                         ("kernels shards=4", KERNEL_SHARD_CONFIG)]
+            for label, extra in legs:
+                other = _engine_result(session, stmt.sql, extra)
+                detail = compare_engine_runs(serial, other, label)
+                if detail is not None:
+                    raise Divergence(seed, case, stmt, detail)
+                if "kernels" in label:
+                    stats["kernel_checked"] += 1
         except TdpError as exc:
             raise Divergence(seed, case, stmt,
                              f"engine rejected generated statement: {exc}")
-        detail = compare_engine_runs(serial, sharded)
-        if detail is not None:
-            raise Divergence(seed, case, stmt, detail)
         if not stmt.oracle:
             stats["engine_only"] += 1
             continue

@@ -1,12 +1,15 @@
 """Differential-testing entry point (see README.md in this directory).
 
-Each seed drives a full stream of generated statements three ways — engine
-``shards=1``, engine ``shards=4``, and the miniduck oracle — through
-``diffrun.run_differential``. The default budget keeps tier-1 fast; CI's
-``differential`` job widens it via the environment:
+Each seed drives a full stream of generated statements through
+``diffrun.run_differential``: engine interpreter/kernels × serial/sharded
+(all bitwise against the serial interpreter) plus the miniduck oracle. The
+default budget keeps tier-1 fast; CI's ``differential`` job widens it via
+the environment:
 
 * ``REPRO_DIFF_SEEDS``  — comma-separated seed list (default ``1,2``)
 * ``REPRO_DIFF_STATEMENTS`` — statements per seed (default ``60``)
+* ``REPRO_COMPILE_EXPRS`` — ``0`` skips the compiled-kernel legs (CI runs
+  a 0/1 matrix so both engine modes keep full-stream coverage)
 """
 
 import os
@@ -37,3 +40,7 @@ def test_differential_seed(seed):
     oracle_eligible = stats["oracle_checked"] + stats["oracle_skipped"]
     assert stats["oracle_checked"] >= 0.8 * max(oracle_eligible, 1), stats
     assert stats["oracle_checked"] > 0
+    # Compiled-kernel legs (serial + sharded) run per statement unless the
+    # CI matrix disabled them for this job.
+    if os.environ.get("REPRO_COMPILE_EXPRS", "1") != "0":
+        assert stats["kernel_checked"] == 2 * _count(), stats
