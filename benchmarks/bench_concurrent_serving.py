@@ -31,7 +31,8 @@ import time
 
 import numpy as np
 
-from repro.bench.harness import print_table, record_metric, scaled
+from repro.bench.harness import (print_table, record_latency_metric,
+                                 record_metric, scaled)
 from repro.apps.multimodal import setup_multimodal
 from repro.core.scheduler import QueryScheduler
 from repro.core.session import Session
@@ -122,9 +123,12 @@ class TestConcurrentServing:
         workload, ddl_positions = _workload()
 
         serial_session = _build_session(fig2_dataset, clip_model)
+        serial, serial_latencies = [], []
         start = time.perf_counter()
-        serial = [serial_session.sql.query(s, extra_config=CONFIG).run()
-                  for s in workload]
+        for s in workload:
+            t0 = time.perf_counter()
+            serial.append(serial_session.sql.query(s, extra_config=CONFIG).run())
+            serial_latencies.append(time.perf_counter() - t0)
         t_serial = time.perf_counter() - start
 
         serve_session = _build_session(fig2_dataset, clip_model)
@@ -160,6 +164,20 @@ class TestConcurrentServing:
             coalesced=stats["coalesced"],
             encoder_joins=stats["batcher"]["joins"],
         )
+        # Per-statement latency shape, both modes: serialized from wall-clock
+        # samples, served from the engine's own query.latency_seconds
+        # histogram (exercising the Session.metrics path end to end).
+        record_latency_metric("serialized_serving_latency", serial_latencies)
+        served = serve_session.metrics.snapshot().get("query.latency_seconds", {})
+        if served.get("count"):
+            record_metric(
+                "concurrent_serving_latency",
+                count=served["count"],
+                mean_ms=round(served["mean"] * 1e3, 3),
+                p50=round(served["p50"] * 1e3, 3),
+                p95=round(served["p95"] * 1e3, 3),
+                p99=round(served["p99"] * 1e3, 3),
+            )
         assert stats["coalesced"] > 0
         assert speedup >= 2.0
         benchmark.pedantic(lambda: None, rounds=1, iterations=1)

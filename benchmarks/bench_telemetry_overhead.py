@@ -1,0 +1,112 @@
+"""Telemetry overhead gate (the PR 7 observability subsystem).
+
+Two properties, matching the tentpole's cost contract:
+
+* **Telemetry off (the default) is a no-op.** ``span(...)`` with no active
+  trace returns the shared ``NULL_SPAN`` singleton — no allocation, no
+  timestamp, one ContextVar read. A microbench bounds the per-call cost so
+  a future edit that starts allocating on the disabled path trips here.
+
+* **Telemetry on costs < 5%.** The same UDF-heavy Fig 2 filter pipeline is
+  run untraced and with ``telemetry=True`` (per-operator spans, compile
+  spans, a full ``QueryTrace`` retained per run), interleaved best-of-N so
+  scheduler noise hits both modes alike. The cold-cache regime
+  (``tensor_cache_bytes=0``) keeps per-run work realistic — inference
+  dominates, as in serving — while still failing loudly if span bookkeeping
+  ever grows a per-row or per-kernel cost.
+
+Both numbers land in BENCH_RESULTS.json so the overhead trajectory is
+visible per commit.
+"""
+
+import time
+
+from repro.bench.harness import (print_table, record_latency_metric,
+                                 record_metric, scaled)
+from repro.apps.multimodal import setup_multimodal
+from repro.core.session import Session
+from repro.core.telemetry import NULL_SPAN, current_trace, span
+
+QUERY = ("SELECT attachment_id, image_text_similarity('KFC Receipt', images) "
+         "AS score FROM Attachments "
+         "WHERE image_text_similarity('KFC Receipt', images) > 0.5")
+OVERHEAD_GATE = 0.05
+DISABLED_SPAN_BUDGET_S = 5e-6       # 5µs/span: ~50x headroom over measured
+
+
+def _interleaved_best_of(fn_a, fn_b, rounds):
+    """Best-of-N for two callables, alternating so drift hits both."""
+    best_a = best_b = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+class TestTelemetryOverhead:
+    def test_traced_within_5pct_of_untraced(self, benchmark, fig2_dataset,
+                                            clip_model):
+        session = Session(tensor_cache_bytes=0)
+        setup_multimodal(session, fig2_dataset, clip_model)
+        untraced = session.sql.query(QUERY)
+        traced = session.sql.query(QUERY, extra_config={"telemetry": True})
+
+        untraced.run()                      # warm numpy / model code paths
+        traced.run()
+        assert traced.last_trace() is not None
+        assert untraced.last_trace() is None
+
+        rounds = scaled(7, minimum=5)
+        t_traced_samples = []
+
+        def run_traced():
+            start = time.perf_counter()
+            traced.run()
+            t_traced_samples.append(time.perf_counter() - start)
+
+        best_untraced, best_traced = _interleaved_best_of(
+            untraced.run, run_traced, rounds)
+        overhead = best_traced / max(best_untraced, 1e-9) - 1.0
+
+        print_table(
+            f"telemetry overhead: best of {rounds} interleaved runs",
+            ["mode", "seconds", "overhead"],
+            [["untraced", best_untraced, "-"],
+             ["traced", best_traced, f"{overhead * 100:+.2f}%"]],
+        )
+        record_metric("telemetry_overhead",
+                      untraced_ms=round(best_untraced * 1e3, 3),
+                      traced_ms=round(best_traced * 1e3, 3),
+                      overhead_pct=round(overhead * 100, 2))
+        record_latency_metric("telemetry_traced_latency", t_traced_samples)
+
+        spans = traced.last_trace().spans()
+        assert any(s.name == "operator" for s in spans)
+        assert overhead < OVERHEAD_GATE, (
+            f"telemetry-on overhead {overhead * 100:.2f}% exceeds "
+            f"{OVERHEAD_GATE * 100:.0f}% gate")
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def test_disabled_path_is_noop(self, benchmark):
+        assert current_trace() is None
+        probe = span("operator", node=1, op="probe")
+        assert probe is NULL_SPAN          # singleton: zero allocation
+        assert span("anything") is probe
+
+        calls = scaled(100_000, minimum=20_000)
+        start = time.perf_counter()
+        for _ in range(calls):
+            with span("operator", node=1, op="probe"):
+                pass
+        per_call = (time.perf_counter() - start) / calls
+
+        record_metric("telemetry_overhead",
+                      disabled_ns_per_span=round(per_call * 1e9, 1))
+        print(f"disabled span(): {per_call * 1e9:.0f}ns/call "
+              f"({calls} calls)")
+        assert per_call < DISABLED_SPAN_BUDGET_S
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)

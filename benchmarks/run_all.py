@@ -111,6 +111,17 @@ def main(argv=None) -> int:
     print(f"[run_all] wrote {args.output}: "
           f"{len(benches) - len(failed)}/{len(benches)} passed, "
           f"{len(results['metrics'])} metric groups")
+
+    # Validate the artifact we just wrote: downstream perf tooling parses it
+    # blind, so a malformed document must fail at the commit producing it.
+    sys.path.insert(0, BENCH_DIR)
+    import validate_results
+    schema_errors = validate_results.validate(results)
+    if schema_errors:
+        for error in schema_errors:
+            sys.stderr.write(f"[run_all] schema error: {error}\n")
+        return 1
+    print(f"[run_all] {args.output} schema OK")
     return 1 if failed else 0
 
 

@@ -1,0 +1,121 @@
+"""Schema validation for the BENCH_RESULTS.json artifact.
+
+CI uploads the file per commit; downstream tooling (perf-trajectory plots,
+the ROADMAP item-3 SLO dashboards) parses it blind, so a malformed artifact
+must fail the benchmarks job at the commit that produced it, not weeks later
+in a reader. Hand-rolled checks — the container has no jsonschema package.
+
+Usage::
+
+    python benchmarks/validate_results.py BENCH_RESULTS.json
+"""
+
+from __future__ import annotations
+
+import json
+import numbers
+import sys
+from typing import List
+
+_STATUSES = {"passed", "failed"}
+# Leaf metric values record_metric may emit.
+_LEAF_TYPES = (numbers.Real, str, bool)
+# Keys a latency-percentile group must carry when any p* key is present.
+_PERCENTILE_KEYS = ("p50", "p95", "p99")
+
+
+def _err(errors: List[str], path: str, message: str) -> None:
+    errors.append(f"{path}: {message}")
+
+
+def _check_metric_group(errors: List[str], name: str, group) -> None:
+    path = f"metrics.{name}"
+    if not isinstance(group, dict):
+        _err(errors, path, f"must be an object, got {type(group).__name__}")
+        return
+    for key, value in group.items():
+        if not isinstance(key, str):
+            _err(errors, path, f"non-string key {key!r}")
+        elif not isinstance(value, _LEAF_TYPES):
+            _err(errors, f"{path}.{key}",
+                 f"leaf must be number/string/bool, got {type(value).__name__}")
+        elif isinstance(value, numbers.Real) and not isinstance(value, bool) \
+                and (value != value):    # NaN is not representable downstream
+            _err(errors, f"{path}.{key}", "NaN is not a valid metric value")
+    present = [k for k in _PERCENTILE_KEYS if k in group]
+    if present and len(present) != len(_PERCENTILE_KEYS):
+        missing = sorted(set(_PERCENTILE_KEYS) - set(present))
+        _err(errors, path, f"partial percentile set: missing {missing}")
+    if len(present) == len(_PERCENTILE_KEYS):
+        p50, p95, p99 = (group[k] for k in _PERCENTILE_KEYS)
+        if not (p50 <= p95 <= p99):
+            _err(errors, path,
+                 f"percentiles must be monotone: p50={p50} p95={p95} p99={p99}")
+
+
+def validate(data) -> List[str]:
+    """All schema violations in a parsed BENCH_RESULTS document (empty = valid)."""
+    errors: List[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    for required in ("scale", "benches", "metrics"):
+        if required not in data:
+            _err(errors, required, "missing required key")
+    scale = data.get("scale")
+    if scale is not None and (not isinstance(scale, numbers.Real)
+                              or isinstance(scale, bool) or scale <= 0):
+        _err(errors, "scale", f"must be a positive number, got {scale!r}")
+    benches = data.get("benches", {})
+    if not isinstance(benches, dict):
+        _err(errors, "benches", "must be an object")
+        benches = {}
+    for name, outcome in benches.items():
+        path = f"benches.{name}"
+        if not isinstance(outcome, dict):
+            _err(errors, path, "must be an object")
+            continue
+        if outcome.get("status") not in _STATUSES:
+            _err(errors, f"{path}.status",
+                 f"must be one of {sorted(_STATUSES)}, got "
+                 f"{outcome.get('status')!r}")
+        seconds = outcome.get("seconds")
+        if not isinstance(seconds, numbers.Real) or isinstance(seconds, bool) \
+                or seconds < 0:
+            _err(errors, f"{path}.seconds",
+                 f"must be a non-negative number, got {seconds!r}")
+        unknown = set(outcome) - {"status", "seconds", "retried"}
+        if unknown:
+            _err(errors, path, f"unknown keys {sorted(unknown)}")
+    metrics = data.get("metrics", {})
+    if not isinstance(metrics, dict):
+        _err(errors, "metrics", "must be an object")
+        metrics = {}
+    for name, group in metrics.items():
+        _check_metric_group(errors, name, group)
+    return errors
+
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        sys.stderr.write("usage: validate_results.py BENCH_RESULTS.json\n")
+        return 2
+    try:
+        with open(argv[0]) as handle:
+            data = json.load(handle)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"[validate_results] cannot read {argv[0]}: {exc}\n")
+        return 1
+    errors = validate(data)
+    if errors:
+        for error in errors:
+            sys.stderr.write(f"[validate_results] {error}\n")
+        return 1
+    benches = data.get("benches", {})
+    print(f"[validate_results] {argv[0]} OK: {len(benches)} benches, "
+          f"{len(data.get('metrics', {}))} metric groups")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

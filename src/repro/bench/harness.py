@@ -51,6 +51,40 @@ def record_metric(name: str, **values) -> None:
             json.dump(data, handle, indent=2, sort_keys=True)
 
 
+def percentiles(samples: Sequence[float],
+                points: Sequence[int] = (50, 95, 99)) -> Dict[str, float]:
+    """Nearest-rank percentiles of a latency sample list.
+
+    Returns ``{"p50": ..., "p95": ..., "p99": ...}`` (same unit as the
+    samples). Empty input yields an empty dict, so callers can splat the
+    result into :func:`record_metric` unconditionally.
+    """
+    if not samples:
+        return {}
+    ordered = sorted(samples)
+    out: Dict[str, float] = {}
+    for p in points:
+        rank = max(int(round(p / 100.0 * len(ordered) + 0.5)) - 1, 0)
+        out[f"p{p}"] = ordered[min(rank, len(ordered) - 1)]
+    return out
+
+
+def record_latency_metric(name: str, samples_seconds: Sequence[float],
+                          **extra) -> None:
+    """Record a bench's per-operation latency distribution (milliseconds).
+
+    Emits count, mean and p50/p95/p99 under ``name`` in BENCH_RESULTS.json —
+    the serving-latency shape ROADMAP item 3's SLO work tracks per commit.
+    """
+    if not samples_seconds:
+        record_metric(name, **extra)
+        return
+    ms = [s * 1e3 for s in samples_seconds]
+    pcts = {key: round(value, 3) for key, value in percentiles(ms).items()}
+    record_metric(name, count=len(ms), mean_ms=round(sum(ms) / len(ms), 3),
+                  **pcts, **extra)
+
+
 class Timer:
     """Wall-clock stopwatch: ``with Timer() as t: ...; t.seconds``."""
 

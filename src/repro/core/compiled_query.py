@@ -9,13 +9,15 @@ our TCR, so ``parameters()``, ``train()/eval()`` and backprop all work on it.
 from __future__ import annotations
 
 import contextlib
-from typing import List
+import time
+from typing import List, Optional
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.core.config import QueryConfig
 from repro.core.operators.base import Operator, Relation
+from repro.core.telemetry import QueryTrace, current_trace, span, tracing
 from repro.storage.frame import DataFrame
 from repro.storage.table import Table
 from repro.tcr import ops
@@ -35,8 +37,19 @@ class ExecNode(Module):
         self._children_nodes = children
 
     def forward(self) -> Relation:
+        # Children evaluate before this operator's span opens, so operator
+        # spans are siblings mirroring the tree rather than one deep nest;
+        # each span contains only its operator's internal detail spans
+        # (shard tasks, batcher flushes, index probes, cache counts).
         inputs = [child() for child in self._children_nodes]
-        return self.op(*inputs)
+        if not tracing():
+            return self.op(*inputs)
+        with span("operator", node=id(self), op=self.op.describe()) as sp:
+            if inputs:
+                sp.set(rows_in=sum(r.num_rows for r in inputs))
+            result = self.op(*inputs)
+            sp.set(rows_out=result.num_rows)
+        return result
 
     def pretty(self, indent: int = 0) -> str:
         lines = ["  " * indent + self.op.describe()]
@@ -82,7 +95,7 @@ class CompiledQuery(Module):
 
     def __init__(self, root: ExecNode, config: QueryConfig, device, sql_text: str,
                  plan_text: str, output_schema, aggregate_outputs: List[int],
-                 tensor_cache=None):
+                 tensor_cache=None, session=None):
         super().__init__()
         self.root = root
         self.config = config
@@ -92,6 +105,10 @@ class CompiledQuery(Module):
         self.output_schema = output_schema
         self.aggregate_outputs = aggregate_outputs
         self.tensor_cache = tensor_cache
+        self.session = session          # owning Session, for telemetry sinks
+        self.explain_mode = None        # None | "plan" | "analyze"
+        self.explain_sql = ""           # inner statement text for EXPLAIN
+        self._last_trace: Optional[QueryTrace] = None
         # Trainable queries start in training mode (soft operators active);
         # everything else starts deployed/eval (exact operators).
         self.train(config.trainable)
@@ -110,7 +127,31 @@ class CompiledQuery(Module):
           * a differentiable Tensor for trainable queries in training mode
             (paper Listing 5 does arithmetic directly on the result);
           * a :class:`QueryResult` otherwise.
+
+        ``EXPLAIN`` statements instead return a one-column ``plan`` relation
+        describing the physical tree; ``EXPLAIN ANALYZE`` executes the inner
+        statement under a trace first (see :meth:`last_trace`).
         """
+        if self.explain_mode == "plan":
+            return self._wrap_plan_text(self._render_plain_explain(), toPandas)
+        if self.explain_mode == "analyze":
+            return self._run_analyze(toPandas)
+        trace = None
+        if self.config.telemetry and current_trace() is None:
+            # An ambient trace (e.g. this query runs inside another traced
+            # scope) wins: spans join it, and last_trace() stays untouched.
+            trace = QueryTrace(self.sql_text, str(self.device))
+        start = time.perf_counter()
+        if trace is not None:
+            with trace.activate():
+                result = self._execute(toPandas)
+            self._last_trace = trace
+        else:
+            result = self._execute(toPandas)
+        self._observe_run(time.perf_counter() - start, trace)
+        return result
+
+    def _execute(self, toPandas: bool):
         if self.training and self.config.trainable:
             relation = self.forward()
         else:
@@ -121,6 +162,66 @@ class CompiledQuery(Module):
         if self.config.trainable and self.training:
             return self._trainable_output(relation)
         return QueryResult(relation.table)
+
+    def _observe_run(self, seconds: float, trace) -> None:
+        session = self.session
+        if session is None:
+            return
+        session.metrics.histogram("query.latency_seconds").observe(seconds)
+        session.slow_log.observe(self.sql_text, seconds, trace,
+                                 threshold=self.config.slow_query_seconds)
+
+    # ------------------------------------------------------------------
+    # Telemetry / EXPLAIN
+    # ------------------------------------------------------------------
+    def last_trace(self) -> Optional[QueryTrace]:
+        """The structured trace of the most recent traced ``run`` (or None).
+
+        Populated when the run itself created a trace — via the ``telemetry``
+        config knob or ``EXPLAIN ANALYZE`` — not when it merely joined an
+        ambient one.
+        """
+        return self._last_trace
+
+    def _render_plain_explain(self) -> str:
+        from repro.core.telemetry.explain import render_plan
+        return (f"EXPLAIN {self.explain_sql}\n"
+                f"{render_plan(self.root)}")
+
+    def _run_analyze(self, toPandas: bool):
+        from repro.core.telemetry.explain import render_analyze
+        trace = QueryTrace(self.explain_sql, str(self.device))
+        start = time.perf_counter()
+        with trace.activate():
+            if self.session is not None:
+                # Re-enter the session's compile path inside the trace: the
+                # compile/parse/bind/optimize/lower spans AND the plan-cache
+                # verdict (hit on a warm statement) land in this trace.
+                inner = self.session.compile_query(
+                    self.explain_sql, device=self.device,
+                    extra_config=self.config.as_mapping())
+            else:
+                inner = self
+            with no_grad(), inner._materialization_scope():
+                relation = inner.forward()
+        seconds = time.perf_counter() - start
+        self._last_trace = trace
+        if self.session is not None:
+            self.session.metrics.histogram("query.latency_seconds").observe(seconds)
+            self.session.slow_log.observe(self.explain_sql, seconds, trace,
+                                          threshold=self.config.slow_query_seconds)
+        trace.result_rows = relation.num_rows
+        text = render_analyze(inner.root, trace, statement=self.explain_sql)
+        return self._wrap_plan_text(text, toPandas)
+
+    @staticmethod
+    def _wrap_plan_text(text: str, toPandas: bool):
+        from repro.storage.column import Column
+        lines = np.asarray(text.split("\n"), dtype=object)
+        table = Table("explain", [Column.from_values("plan", lines)])
+        if toPandas:
+            return table.to_frame()
+        return QueryResult(table)
 
     def _materialization_scope(self):
         """Activate the session's tensor cache for this run.

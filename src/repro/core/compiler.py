@@ -49,15 +49,23 @@ from repro.tcr.device import as_device
 
 class Compiler:
     def __init__(self, catalog, config: QueryConfig, device, indexes=None,
-                 tensor_cache=None, shard_pool=None):
+                 tensor_cache=None, shard_pool=None, session=None):
         self.catalog = catalog
         self.config = config
         self.device = as_device(device)
         self.indexes = indexes          # the session's IndexManager (or None)
         self.tensor_cache = tensor_cache  # the session's TensorCache (or None)
         self.shard_pool = shard_pool    # the session's ShardPool (or None)
+        self.session = session          # back-reference for telemetry (or None)
 
     def compile(self, plan: logical.LogicalPlan, sql_text: str) -> CompiledQuery:
+        explain_mode = None
+        if isinstance(plan, logical.ExplainPlan):
+            # Lower the wrapped statement for real so plain EXPLAIN shows
+            # the true physical tree (sharded scans, compiled kernels...).
+            explain_mode = "analyze" if plan.analyze else "plan"
+            inner_sql = plan.sql
+            plan = plan.input
         root = self._lower(plan)
         if self._sharding:
             # Intra-query parallelism: rewrite shardable pipeline prefixes
@@ -66,7 +74,7 @@ class Compiler:
             from repro.core.operators.sharded import parallelize
             root = parallelize(root, self.config, self.shard_pool, ExecNode)
         aggregate_outputs = _aggregate_output_slots(plan)
-        return CompiledQuery(
+        query = CompiledQuery(
             root=root,
             config=self.config,
             device=self.device,
@@ -75,7 +83,12 @@ class Compiler:
             output_schema=plan.schema,
             aggregate_outputs=aggregate_outputs,
             tensor_cache=self.tensor_cache,
+            session=self.session,
         )
+        if explain_mode is not None:
+            query.explain_mode = explain_mode
+            query.explain_sql = inner_sql
+        return query
 
     # ------------------------------------------------------------------
     # Lowering

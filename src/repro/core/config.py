@@ -30,6 +30,9 @@ class constants:
     PARALLEL_MIN_ROWS = "parallel_min_rows"  # don't shard smaller inputs ("auto" adapts)
     # Expression codegen (TQP-style kernel compilation).
     COMPILE_EXPRS = "compile_exprs"        # compile Filter/Project expression kernels
+    # Observability.
+    TELEMETRY = "telemetry"                # trace every run (EXPLAIN ANALYZE forces it)
+    SLOW_QUERY_SECONDS = "slow_query_seconds"  # slow-log threshold (None = session default)
 
 
 _DEFAULTS = {
@@ -48,6 +51,8 @@ _DEFAULTS = {
     constants.SHARDS: 1,
     constants.PARALLEL_MIN_ROWS: 64,
     constants.COMPILE_EXPRS: True,
+    constants.TELEMETRY: False,
+    constants.SLOW_QUERY_SECONDS: None,
 }
 
 
@@ -169,6 +174,28 @@ class QueryConfig:
     @property
     def compile_exprs(self) -> bool:
         return bool(self._values[constants.COMPILE_EXPRS])
+
+    @property
+    def telemetry(self) -> bool:
+        return bool(self._values[constants.TELEMETRY])
+
+    @property
+    def slow_query_seconds(self) -> Optional[float]:
+        value = self._values[constants.SLOW_QUERY_SECONDS]
+        if value is None:
+            return None
+        threshold = float(value)
+        if threshold < 0:
+            raise ValueError(f"slow_query_seconds must be >= 0, got {value!r}")
+        return threshold
+
+    def as_mapping(self) -> dict:
+        """The effective flag values as a plain ``extra_config``-shaped dict.
+
+        EXPLAIN ANALYZE re-compiles its inner statement under the outer
+        statement's exact configuration; this round-trips it.
+        """
+        return dict(self._values)
 
     def fingerprint(self) -> tuple:
         """Hashable digest of every flag, for plan-cache keys."""

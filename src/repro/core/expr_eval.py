@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.core import tensor_cache as tc
 from repro.core.kernels import dates as date_kernels
+from repro.core.telemetry import count as tel_count
 from repro.core.kernels import strings as string_kernels
 from repro.errors import ExecutionError
 from repro.sql import bound as b
@@ -207,7 +208,11 @@ class ExpressionEvaluator:
                 cached = cache.udf_get(key, full_key, rows,
                                        num_rows=self.num_rows)
                 if cached is not None:
+                    # Attribute the hit to the requesting query's open
+                    # operator span (no-op when untraced).
+                    tel_count(tensor_cache_hits=1)
                     return cached[0]
+                tel_count(tensor_cache_misses=1)
             if tags:
                 # Tag the argument tensors so encoder memos inside the UDF
                 # (model.encode_image) can capture/reuse embeddings. Tags

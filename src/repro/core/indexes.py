@@ -110,6 +110,9 @@ class IndexManager:
         # reverse.
         self._lock = threading.RLock()
         self.epoch = 0
+        # Lifetime counters for Session.metrics (guarded by _lock).
+        self.builds = 0
+        self.probes = 0
 
     # ------------------------------------------------------------------
     # DDL surface
@@ -175,6 +178,17 @@ class IndexManager:
     def __contains__(self, name: str) -> bool:
         with self._lock:
             return name.lower() in self._entries
+
+    def stats(self) -> dict:
+        """Unified stats dict (docs/OBSERVABILITY.md): size is registered
+        indexes, builds/probes are lifetime counts across all entries."""
+        with self._lock:
+            return {"size": len(self._entries), "epoch": self.epoch,
+                    "builds": self.builds, "probes": self.probes}
+
+    def record_probe(self) -> None:
+        with self._lock:
+            self.probes += 1
 
     # ------------------------------------------------------------------
     # Build / probe
@@ -265,6 +279,10 @@ class IndexManager:
             entry.built_table = current
             entry.build_count += 1
             entry.index = index
+            with self._lock:
+                # Safe ordering: manager lock nests inside entry build locks
+                # (nothing takes a build lock while holding the manager lock).
+                self.builds += 1
             return index
 
     def _embed_corpus(self, entry: IndexEntry, column, model,

@@ -20,6 +20,7 @@ from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.kernels.compiler import FilterKernel, KernelFallback, ProjectKernel
 from repro.core.operators.base import Relation
 from repro.core.operators.filter import FilterExec
+from repro.core.telemetry import annotate
 from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec, _GatherEvaluator
 from repro.core.operators.project import ProjectExec
 from repro.sql import bound as b
@@ -36,7 +37,9 @@ class CompiledFilterExec(FilterExec):
         try:
             mask = self.kernel.mask(evaluator)
         except KernelFallback:
+            annotate(path="fallback")
             return super().forward(relation)
+        annotate(path="kernel")
         indices = np.flatnonzero(mask)
         table = relation.table.take(indices)
         weights = relation.weights[indices] if relation.weights is not None else None
@@ -56,7 +59,9 @@ class CompiledFusedFilterExec(FusedFilterExec):
         try:
             mask = self.kernel.mask(evaluator)
         except KernelFallback:
+            annotate(path="fallback")
             return super().forward(relation)
+        annotate(path="kernel")
         indices = np.flatnonzero(mask)
         table = relation.table.take(indices)
         weights = relation.weights[indices] if relation.weights is not None else None
@@ -82,7 +87,9 @@ class CompiledFusedFilterProjectExec(FusedFilterProjectExec):
             projected = _GatherEvaluator(relation.table, indices)
             columns = self.project_kernel.columns(projected)
         except KernelFallback:
+            annotate(path="fallback")
             return super().forward(relation)
+        annotate(path="kernel")
         weights = relation.weights[indices] if relation.weights is not None else None
         return Relation(Table(relation.table.name, columns), weights)
 
@@ -101,7 +108,9 @@ class CompiledProjectExec(ProjectExec):
         try:
             columns = self.kernel.columns(evaluator)
         except KernelFallback:
+            annotate(path="fallback")
             return super().forward(relation)
+        annotate(path="kernel")
         return Relation(Table(relation.table.name, columns), relation.weights)
 
     def describe(self) -> str:

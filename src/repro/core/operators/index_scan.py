@@ -32,6 +32,7 @@ from repro.core.operators.base import Operator, Relation
 from repro.core.operators.filter import FilterExec
 from repro.core.operators.project import ProjectExec
 from repro.core.operators.sort import TopKExec
+from repro.core.telemetry import annotate
 from repro.sql import bound as b
 from repro.storage.column import Column
 from repro.storage.table import Table
@@ -74,13 +75,17 @@ class IndexScanExec(Operator):
         entry = self.manager.lookup(self.index_name)
         udf = self._sim_udf
         if entry is None or udf is None or not self.manager.supports(entry, udf):
+            annotate(access="exact_fallback")
             return self._exact(relation)
         try:
             index = self.manager.ensure_built(
                 entry, udf, use_tensor_cache=self.use_tensor_cache)
             query_vec = self.manager.embed_query(entry, self.query_text)
         except (CatalogError, ExecutionError):
+            annotate(access="exact_fallback")
             return self._exact(relation)
+        annotate(access="ann_probe", index=self.index_name)
+        self.manager.record_probe()
 
         n = relation.num_rows
         want = self.k + self.offset

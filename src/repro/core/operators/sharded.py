@@ -41,6 +41,7 @@ from repro.core.operators.project import ProjectExec
 from repro.core.operators.scan import ScanExec, shard_slices
 from repro.core.partition import plan_shards, run_sharded, stitch_relations
 from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.telemetry import annotate, span, tracing
 from repro.storage.table import Table
 
 _ROW_WISE_OPS = (FilterExec, FusedFilterExec, FusedFilterProjectExec, ProjectExec)
@@ -136,8 +137,18 @@ class _ShardedBase(Operator):
         return plan_shards(num_rows, shards, self.min_rows, align)
 
     def _run_pipeline(self, relation: Relation) -> Relation:
+        if not tracing():
+            for op in self.pipeline:
+                relation = op(relation)
+            return relation
+        # Traced: time each fused stage so EXPLAIN ANALYZE can attribute
+        # kernel-vs-fallback paths (annotated by the compiled operators)
+        # stage by stage, inside whichever shard span is open.
         for op in self.pipeline:
-            relation = op(relation)
+            with span("shard_op", op=op.describe(),
+                      rows_in=relation.num_rows) as sp:
+                relation = op(relation)
+                sp.set(rows_out=relation.num_rows)
         return relation
 
     def _pipeline_text(self) -> str:
@@ -151,6 +162,7 @@ class ShardedScanExec(_ShardedBase):
     def forward(self, relation=None) -> Relation:
         base = self.scan(None)
         bounds = self._bounds(base.num_rows)
+        annotate(shards=len(bounds), base_rows=base.num_rows)
         # Every pipeline execution (serial or per shard) feeds the pool's
         # per-row cost EMA, which resolves parallel_min_rows="auto".
         if len(bounds) <= 1:
@@ -161,19 +173,28 @@ class ShardedScanExec(_ShardedBase):
             return result
         tables = shard_slices(base.table, bounds)
 
-        def make_task(table):
+        def make_task(table, index):
             def task():
                 start = time.perf_counter()
-                try:
-                    return self._run_pipeline(Relation(table))
-                finally:
-                    self.pool.observe_pipeline(table.num_rows,
-                                               time.perf_counter() - start)
-                    _finish_batcher_statement()
+                # Shard tasks run under a copy of the submitter's context,
+                # so this span nests inside the sharded operator's span
+                # (via the barrier span) even on a helper thread.
+                with span("shard", index=index, rows=table.num_rows):
+                    try:
+                        return self._run_pipeline(Relation(table))
+                    finally:
+                        self.pool.observe_pipeline(
+                            table.num_rows, time.perf_counter() - start)
+                        _finish_batcher_statement()
             return task
 
-        results = run_sharded(self.pool, [make_task(t) for t in tables])
-        return stitch_relations(results, base_rows=base.num_rows)
+        # The barrier span covers submit → all shards done (the coordinator
+        # helps run tasks, so its duration is the true stitch barrier wait).
+        with span("shard_barrier", shards=len(tables)):
+            results = run_sharded(
+                self.pool, [make_task(t, i) for i, t in enumerate(tables)])
+        with span("stitch", shards=len(results)):
+            return stitch_relations(results, base_rows=base.num_rows)
 
     def describe(self) -> str:
         return (f"ShardedScan(shards={self.shards}, "
@@ -200,33 +221,39 @@ class ShardedAggregateExec(_ShardedBase):
     def forward(self, relation=None) -> Relation:
         base = self.scan(None)
         bounds = self._bounds(base.num_rows, extra_udf=self._agg_has_udf)
+        annotate(shards=len(bounds), base_rows=base.num_rows)
         if len(bounds) <= 1:
             return self.agg(self._run_pipeline(base))
         tables = shard_slices(base.table, bounds)
         specs = self.agg.aggregates
 
-        def make_task(table):
+        def make_task(table, index):
             def task():
-                try:
-                    rel = self._run_pipeline(Relation(table))
-                    evaluator = ExpressionEvaluator(rel.table)
-                    partials = []
-                    for spec in specs:
-                        arg = (evaluator.evaluate_column(spec.arg, spec.name)
-                               if spec.arg is not None else None)
-                        partials.append(global_partial(spec, arg, rel.num_rows))
-                    return partials
-                finally:
-                    _finish_batcher_statement()
+                with span("shard", index=index, rows=table.num_rows):
+                    try:
+                        rel = self._run_pipeline(Relation(table))
+                        evaluator = ExpressionEvaluator(rel.table)
+                        partials = []
+                        for spec in specs:
+                            arg = (evaluator.evaluate_column(spec.arg, spec.name)
+                                   if spec.arg is not None else None)
+                            partials.append(
+                                global_partial(spec, arg, rel.num_rows))
+                        return partials
+                    finally:
+                        _finish_batcher_statement()
             return task
 
-        shard_partials = run_sharded(self.pool, [make_task(t) for t in tables])
-        columns = [
-            merge_global_partials(spec, [p[i] for p in shard_partials],
-                                  base.device)
-            for i, spec in enumerate(specs)
-        ]
-        return Relation(Table(base.table.name, columns))
+        with span("shard_barrier", shards=len(tables)):
+            shard_partials = run_sharded(
+                self.pool, [make_task(t, i) for i, t in enumerate(tables)])
+        with span("merge", shards=len(shard_partials)):
+            columns = [
+                merge_global_partials(spec, [p[i] for p in shard_partials],
+                                      base.device)
+                for i, spec in enumerate(specs)
+            ]
+            return Relation(Table(base.table.name, columns))
 
     def describe(self) -> str:
         aggs = ", ".join(str(s) for s in self.agg.aggregates)

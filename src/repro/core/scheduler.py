@@ -60,6 +60,7 @@ from typing import List, Mapping, Optional, Sequence
 
 from repro.core import tensor_cache as tc
 from repro.core.config import QueryConfig
+from repro.core.telemetry import span, tracing
 from repro.tcr import ops
 from repro.tcr.device import as_device
 
@@ -96,9 +97,12 @@ class InferenceBatcher:
     lockstep queries pay one forward per distinct micro-batch.
     """
 
-    def __init__(self, window: float = 0.002, fuse: bool = False):
+    def __init__(self, window: float = 0.002, fuse: bool = False, session=None):
         self.window = float(window)
         self.fuse = bool(fuse)
+        # The owning session, for mirroring lifetime counters into its
+        # MetricsRegistry (read dynamically: Session.reset swaps registries).
+        self._session = session
         self._cond = threading.Condition()
         self._pending: List[_EncodeRequest] = []
         self._inflight: dict = {}
@@ -123,9 +127,22 @@ class InferenceBatcher:
     # ------------------------------------------------------------------
     # The rendezvous
     # ------------------------------------------------------------------
+    @property
+    def _metrics(self):
+        return self._session.metrics if self._session is not None else None
+
     def encode(self, model, orig, images, tag, token, fp, cache):
         """Serve one encoder micro-batch, coalescing with concurrent
         identical requests (and optionally fusing distinct ones)."""
+        if not tracing():
+            return self._encode(model, orig, images, tag, token, fp, cache)
+        rows = images.shape[0] if images.ndim else 1
+        # The span lands inside the requesting query's open operator span,
+        # so rendezvous wait is attributed to the operator that encoded.
+        with span("batcher_encode", rows=rows):
+            return self._encode(model, orig, images, tag, token, fp, cache)
+
+    def _encode(self, model, orig, images, tag, token, fp, cache):
         ident = threading.get_ident()
         key = (token, str(images.device), tag.base, tag.rows_fp)
         device = str(images.device)
@@ -170,7 +187,12 @@ class InferenceBatcher:
                                             max(deadline - now, 1e-4)))
                 finally:
                     self._blocked.discard(ident)
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.counter("batcher.requests").inc()
         if joined is not None:
+            if metrics is not None:
+                metrics.counter("batcher.joins").inc()
             # Cache write-back outside the condition (it takes the cache
             # lock and may copy a tensor; the rendezvous must never block
             # on it), and only when the computing request couldn't reach
@@ -183,7 +205,8 @@ class InferenceBatcher:
                                   joined.result.detach())
             return joined.result
         if batch is not None:
-            self._run_batch(batch)
+            with span("batcher_flush", batch_size=len(batch)):
+                self._run_batch(batch)
         if req.exc is not None:
             raise req.exc
         return req.result
@@ -259,6 +282,13 @@ class InferenceBatcher:
                     req.done = True
                     self._inflight.pop(req.key, None)
                 self._cond.notify_all()
+            metrics = self._metrics
+            if metrics is not None:
+                # Outside the condition: Counter has its own leaf lock.
+                metrics.counter("batcher.forwards").inc(forwards)
+                if fused_forwards:
+                    metrics.counter("batcher.fused_forwards").inc(fused_forwards)
+                    metrics.counter("batcher.fused_requests").inc(fused_requests)
 
     @property
     def stats(self) -> dict:
@@ -273,7 +303,7 @@ class InferenceBatcher:
 
 class _Job:
     __slots__ = ("statement", "device", "extra_config", "toPandas", "future",
-                 "key", "stamp", "followers")
+                 "key", "stamp", "followers", "submitted")
 
     def __init__(self, statement, device, extra_config, toPandas, future, key):
         self.statement = statement
@@ -284,6 +314,7 @@ class _Job:
         self.key = key
         self.stamp = None
         self.followers: List[Future] = []
+        self.submitted = time.monotonic()
 
 
 _STOP = object()
@@ -305,7 +336,8 @@ class QueryScheduler:
         self.session = session
         self.workers = max(1, int(workers))
         self.coalesce = bool(coalesce)
-        self.batcher = (InferenceBatcher(window=batch_window, fuse=fuse_batches)
+        self.batcher = (InferenceBatcher(window=batch_window, fuse=fuse_batches,
+                                         session=session)
                         if batch_inference else None)
         self._queue: SimpleQueue = SimpleQueue()
         self._lock = threading.Lock()
@@ -367,8 +399,12 @@ class QueryScheduler:
 
     @property
     def stats(self) -> dict:
-        out = {"executed": self.executed, "coalesced": self.coalesced,
-               "workers": self.workers}
+        # Snapshot under the same lock that increments the counters, so a
+        # reader can never observe a torn (executed, coalesced) pair — the
+        # stat-tear class PR 4 fixed in the caches.
+        with self._lock:
+            out = {"executed": self.executed, "coalesced": self.coalesced,
+                   "workers": self.workers}
         if self.batcher is not None:
             out["batcher"] = self.batcher.stats
         return out
@@ -391,6 +427,12 @@ class QueryScheduler:
     def _run_job(self, job: _Job) -> None:
         if not job.future.set_running_or_notify_cancel():
             return
+        metrics = self.session.metrics
+        # Every dequeued job observes queue wait (coalesced ones included):
+        # the histogram's count equals total jobs dequeued, which the
+        # admission-control consumer reads against executed + coalesced.
+        metrics.histogram("scheduler.queue_wait_seconds").observe(
+            time.monotonic() - job.submitted)
         if job.key is not None:
             with self._lock:
                 leader = self._inflight.get(job.key)
@@ -400,6 +442,7 @@ class QueryScheduler:
                     # second serialized run would receive an equal result.
                     leader.followers.append(job.future)
                     self.coalesced += 1
+                    metrics.counter("scheduler.coalesced").inc()
                     return
                 job.stamp = self._version_stamp()
                 self._inflight[job.key] = job
@@ -430,6 +473,7 @@ class QueryScheduler:
                 del self._inflight[job.key]
             followers = job.followers
             self.executed += 1
+        self.session.metrics.counter("scheduler.executed").inc()
         for future in (job.future, *followers):
             if exc is not None:
                 future.set_exception(exc)

@@ -21,6 +21,7 @@ from repro.core.config import QueryConfig, constants
 from repro.core.indexes import IndexEntry, IndexManager
 from repro.core.operators.scan import shared_scans
 from repro.core.partition import ShardPool
+from repro.core.telemetry import MetricsRegistry, SlowQueryLog, span
 from repro.core.tensor_cache import DEFAULT_TENSOR_CACHE_BYTES, TensorCache
 from repro.core.udf import FunctionRegistry, make_udf_decorator
 from repro.sql.binder import Binder
@@ -53,6 +54,7 @@ class PlanCache:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: tuple) -> Optional[CompiledQuery]:
         with self._lock:
@@ -70,6 +72,7 @@ class PlanCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> None:
         with self._lock:
@@ -81,8 +84,11 @@ class PlanCache:
 
     @property
     def stats(self) -> dict:
+        # Unified stats vocabulary (see docs/OBSERVABILITY.md): hits/misses/
+        # evictions are lifetime counts, size/maxsize are entry counts.
         with self._lock:
             return {"hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions,
                     "size": len(self._entries), "maxsize": self.maxsize}
 
 
@@ -155,8 +161,9 @@ class SqlNamespace:
 
 
 # DDL statements mutate session state when run: never serve them from (or
-# admit them to) the plan cache.
-_DDL_PREFIX = re.compile(r"^\s*(create|drop|show)\b", re.IGNORECASE)
+# admit them to) the plan cache — including when wrapped in EXPLAIN.
+_DDL_PREFIX = re.compile(
+    r"^\s*(?:explain\s+(?:analyze\s+)?)?(create|drop|show)\b", re.IGNORECASE)
 
 
 class Session:
@@ -190,6 +197,18 @@ class Session:
         # spins up a dedicated pool per call instead).
         self._scheduler = None
         self._scheduler_lock = threading.Lock()
+        # Observability: one registry unifying every subsystem's stats
+        # (Session.metrics.snapshot()), plus the slow-statement ring buffer.
+        self.metrics = MetricsRegistry()
+        self.slow_log = SlowQueryLog()
+        self._register_metric_providers()
+
+    def _register_metric_providers(self) -> None:
+        self.metrics.register_provider("plan_cache", lambda: self.plan_cache.stats)
+        self.metrics.register_provider("tensor_cache", lambda: self.tensor_cache.stats)
+        self.metrics.register_provider("shard_pool", lambda: self.shard_pool.stats)
+        self.metrics.register_provider("indexes", self.indexes.stats)
+        self.metrics.register_provider("slow_log", self.slow_log.stats)
 
     def compile_query(self, statement: str, device: str = "cpu",
                       extra_config: Optional[Mapping[str, object]] = None) -> CompiledQuery:
@@ -211,33 +230,45 @@ class Session:
                 self.shard_pool.adaptive_min_rows())
         cacheable = (config.plan_cache and not config.trainable
                      and not _DDL_PREFIX.match(statement))
-        key = None
-        if cacheable:
-            key = (statement, str(as_device(device)), config.fingerprint(),
-                   self.catalog.version, self.functions.version,
-                   self.indexes.epoch)
-            cached = self.plan_cache.get(key)
-            if cached is not None:
-                return cached
-        query = self._compile_uncached(statement, config, device)
-        if cacheable:
-            self.plan_cache.put(key, query)
+        # span() is the shared no-op singleton unless a trace is active
+        # (telemetry knob or EXPLAIN ANALYZE), so the untraced compile path
+        # pays one ContextVar read here and nothing else.
+        with span("compile", statement=statement) as sp:
+            key = None
+            if cacheable:
+                key = (statement, str(as_device(device)), config.fingerprint(),
+                       self.catalog.version, self.functions.version,
+                       self.indexes.epoch)
+                cached = self.plan_cache.get(key)
+                if cached is not None:
+                    sp.set(plan_cache="hit")
+                    return cached
+                sp.set(plan_cache="miss")
+            else:
+                sp.set(plan_cache="bypass")
+            query = self._compile_uncached(statement, config, device)
+            if cacheable:
+                self.plan_cache.put(key, query)
         return query
 
     def _compile_uncached(self, statement: str, config: QueryConfig,
                           device: str) -> CompiledQuery:
-        ast = parse(statement)
-        plan = Binder(self.catalog, self.functions).bind(ast)
+        with span("parse"):
+            ast = parse(statement)
+        with span("bind"):
+            plan = Binder(self.catalog, self.functions).bind(ast)
         opt_config = config.as_optimizer_config()
         if not config.trainable:
             # The vector_index rule needs the index registry; trainable
             # compilations keep the exact differentiable pipeline.
             opt_config["indexes"] = self.indexes
-        plan = optimize(plan, opt_config)
+        with span("optimize"):
+            plan = optimize(plan, opt_config)
         compiler = Compiler(self.catalog, config, device, indexes=self.indexes,
                             tensor_cache=self.tensor_cache,
-                            shard_pool=self.shard_pool)
-        return compiler.compile(plan, statement)
+                            shard_pool=self.shard_pool, session=self)
+        with span("lower"):
+            return compiler.compile(plan, statement)
 
     # ------------------------------------------------------------------
     # Vector indexes (Python-native DDL path)
@@ -332,3 +363,7 @@ class Session:
         self.indexes.clear()
         self.plan_cache.clear()
         self.tensor_cache.clear()
+        self.slow_log.clear()
+        # Fresh instruments (lifetime counters restart), same providers.
+        self.metrics = MetricsRegistry()
+        self._register_metric_providers()

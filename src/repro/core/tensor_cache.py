@@ -401,11 +401,15 @@ class TensorCache:
 
     @property
     def stats(self) -> dict:
+        # Unified stats vocabulary (docs/OBSERVABILITY.md): "size" is the
+        # canonical entry-count key across caches; "entries" remains as a
+        # deprecated alias for pre-telemetry callers.
         with self._lock:
+            size = len(self._entries)
             return {
                 "hits": self.hits, "misses": self.misses,
                 "gather_hits": self.gather_hits, "inserts": self.inserts,
-                "evictions": self.evictions, "entries": len(self._entries),
+                "evictions": self.evictions, "size": size, "entries": size,
                 "bytes": self.current_bytes, "max_bytes": self.max_bytes,
             }
 

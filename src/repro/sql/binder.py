@@ -167,6 +167,13 @@ class Binder:
     # Entry
     # ------------------------------------------------------------------
     def bind(self, stmt: nodes.Statement) -> logical.LogicalPlan:
+        if isinstance(stmt, nodes.ExplainStmt):
+            # Bind the wrapped statement for real: EXPLAIN over an invalid
+            # query must fail at bind time, and plain EXPLAIN renders the
+            # wrapped statement's actual (optimized, lowered) plan.
+            inner = self.bind(stmt.statement)
+            return logical.ExplainPlan(input=inner, analyze=stmt.analyze,
+                                       sql=stmt.sql)
         if isinstance(stmt, nodes.CreateVectorIndexStmt):
             return self._bind_create_index(stmt)
         if isinstance(stmt, nodes.DropIndexStmt):

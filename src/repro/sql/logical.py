@@ -302,5 +302,40 @@ class ShowIndexes(DdlPlan):
     schema: Schema = dataclasses.field(
         default_factory=lambda: list(SHOW_INDEXES_SCHEMA))
 
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+
+EXPLAIN_SCHEMA: Schema = [("plan", dt.STRING)]
+
+
+@dataclasses.dataclass
+class ExplainPlan(LogicalPlan):
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    Not a :class:`DdlPlan`: the wrapped statement must flow through the
+    optimizer and physical planner so plain ``EXPLAIN`` renders the real
+    lowered tree (sharded scans, compiled kernels and all). ``sql`` keeps
+    the inner statement's source text because ``EXPLAIN ANALYZE`` re-enters
+    the session's compile path at run time to attribute plan-cache hits.
+    """
+
+    input: LogicalPlan
+    analyze: bool
+    sql: str
+    schema: Schema = dataclasses.field(default_factory=lambda: list(EXPLAIN_SCHEMA))
+
+    def children(self):
+        return [self.input]
+
+    def with_children(self, children):
+        assert len(children) == 1
+        return dataclasses.replace(self, input=children[0])
+
+    def describe(self):
+        mode = "ANALYZE" if self.analyze else ""
+        return f"Explain({mode})"
+
     def describe(self):
         return "ShowIndexes"

@@ -202,4 +202,23 @@ class ShowIndexesStmt:
     """``SHOW INDEXES``."""
 
 
-Statement = Union[SelectStmt, CreateVectorIndexStmt, DropIndexStmt, ShowIndexesStmt]
+# ----------------------------------------------------------------------
+# Observability statements
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass
+class ExplainStmt:
+    """``EXPLAIN [ANALYZE] <statement>``.
+
+    ``sql`` is the inner statement's source text, sliced from the original
+    query string; EXPLAIN ANALYZE re-compiles it through the session at run
+    time so compilation itself (and any plan-cache hit) appears in the trace.
+    """
+
+    statement: "Statement"
+    analyze: bool = False
+    sql: str = ""
+
+
+Statement = Union[SelectStmt, CreateVectorIndexStmt, DropIndexStmt,
+                  ShowIndexesStmt, ExplainStmt]

@@ -7,6 +7,7 @@ the ablation benchmarks (A3) use to measure the rules' contribution.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Mapping, Optional
 
 from repro.sql import logical
@@ -41,6 +42,10 @@ def optimize(plan: logical.LogicalPlan,
     config = config or {}
     if isinstance(plan, logical.DdlPlan):
         return plan
+    if isinstance(plan, logical.ExplainPlan):
+        # Optimize the wrapped statement exactly as it would be standalone;
+        # the Explain wrapper itself has nothing to rewrite.
+        return dataclasses.replace(plan, input=optimize(plan.input, config))
     disabled = set(config.get("disable_rules", ()))
     if "fold" not in disabled:
         plan = _fold_plan(plan)

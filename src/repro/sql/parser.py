@@ -74,14 +74,10 @@ class Parser:
     # Entry point
     # ------------------------------------------------------------------
     def parse(self) -> nodes.Statement:
-        if self._check_word("CREATE"):
-            stmt = self._create_index_stmt()
-        elif self._check_word("DROP"):
-            stmt = self._drop_index_stmt()
-        elif self._check_word("SHOW"):
-            stmt = self._show_indexes_stmt()
+        if self._check_word("EXPLAIN"):
+            stmt = self._explain_stmt()
         else:
-            stmt = self._select_stmt()
+            stmt = self._bare_statement()
         self._accept("SYMBOL", ";")
         if not self._check("EOF"):
             token = self._peek()
@@ -89,6 +85,35 @@ class Parser:
                 f"unexpected trailing input {token.value!r} at position {token.position}"
             )
         return stmt
+
+    def _bare_statement(self) -> nodes.Statement:
+        if self._check_word("CREATE"):
+            return self._create_index_stmt()
+        if self._check_word("DROP"):
+            return self._drop_index_stmt()
+        if self._check_word("SHOW"):
+            return self._show_indexes_stmt()
+        return self._select_stmt()
+
+    # ------------------------------------------------------------------
+    # Observability statements
+    # ------------------------------------------------------------------
+    def _explain_stmt(self) -> nodes.ExplainStmt:
+        # EXPLAIN/ANALYZE are soft keywords like the DDL words: `SELECT
+        # explain FROM t` still treats `explain` as a column. We only get
+        # here when EXPLAIN leads the statement.
+        self._expect_word("EXPLAIN")
+        analyze = self._accept_word("ANALYZE")
+        inner_start = self._peek().position
+        stmt = self._bare_statement()
+        inner_sql = self.text[inner_start:].rstrip().rstrip(";").rstrip()
+        if not inner_sql:
+            token = self._peek()
+            raise SqlSyntaxError(
+                f"EXPLAIN requires a statement at position {token.position} "
+                f"in query: {self.text!r}"
+            )
+        return nodes.ExplainStmt(statement=stmt, analyze=analyze, sql=inner_sql)
 
     # ------------------------------------------------------------------
     # DDL statements (vector-index subsystem)
