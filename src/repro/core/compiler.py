@@ -40,6 +40,7 @@ from repro.core.operators.compiled import (
     CompiledFilterExec,
     CompiledFusedFilterExec,
     CompiledFusedFilterProjectExec,
+    CompiledPipelineExec,
     CompiledProjectExec,
 )
 from repro.core.operators.fused import can_substitute, substitute_columns
@@ -73,6 +74,12 @@ class Compiler:
             # into partition drivers over the session's shard pool.
             from repro.core.operators.sharded import parallelize
             root = parallelize(root, self.config, self.shard_pool, ExecNode)
+        if self._pipelining:
+            # Whole-pipeline codegen: fuse maximal breaker-free
+            # scan→filter→project[→aggregate] subtrees into one compiled
+            # callable (sharded drivers keep their shape and gain a fused
+            # per-shard body; serial chains collapse into one operator).
+            root = self._fuse_pipelines(root)
         aggregate_outputs = _aggregate_output_slots(plan)
         query = CompiledQuery(
             root=root,
@@ -148,8 +155,10 @@ class Compiler:
             if self.indexes is None:
                 raise PlanError("TopKSimilarity requires a session IndexManager")
             child = self._lower(plan.input)
-            op = IndexScanExec(self.indexes, plan, nprobe=self.config.nprobe,
-                               use_tensor_cache=self.config.tensor_cache)
+            op = IndexScanExec(
+                self.indexes, plan, nprobe=self.config.nprobe,
+                use_tensor_cache=self.config.tensor_cache,
+                shard_pool=self.shard_pool if self._sharding else None)
             return ExecNode(op, [child])
 
         if isinstance(plan, (logical.CreateIndex, logical.DropIndex,
@@ -185,6 +194,52 @@ class Compiler:
         # Kernel codegen detaches from autograd, so trainable compilations
         # always stay on the interpreter (gradients flow through tcr ops).
         return self.config.compile_exprs and not self.config.trainable
+
+    @property
+    def _pipelining(self) -> bool:
+        # Pipeline fusion builds on the expression kernels and shares their
+        # autograd caveat; both knobs must be on for whole-pipeline codegen.
+        return (self.config.compile_pipelines and self.config.compile_exprs
+                and not self.config.trainable)
+
+    def _fuse_pipelines(self, node: ExecNode) -> ExecNode:
+        """Post-lowering pass: attach/substitute compiled whole pipelines.
+
+        Sharded drivers keep their operator (the partition/merge machinery
+        is theirs) and gain a ``compiled_pipeline`` body run per shard;
+        serial Scan→row-wise[→SortAggregate] chains are replaced by a
+        :class:`CompiledPipelineExec` leaf. Anything that fails a breaker
+        rule is left on the per-operator path untouched.
+        """
+        from repro.core.kernels.pipeline import compile_pipeline
+        from repro.core.operators.sharded import _ShardedBase, _match_chain
+
+        op = node.op
+        if isinstance(op, _ShardedBase):
+            # Per-shard body only: the driver still computes/merges partial
+            # states itself, so the aggregate (if any) is not fused here.
+            op.compiled_pipeline = compile_pipeline(op.pipeline)
+            return node
+        if type(op) is SortAggregateExec and len(node._children_nodes) == 1:
+            chain = _match_chain(node._children_nodes[0])
+            if chain is not None and chain[1]:
+                scan, pipeline = chain
+                compiled = compile_pipeline(pipeline, aggregate=op)
+                if compiled is not None:
+                    return ExecNode(
+                        CompiledPipelineExec(scan, pipeline, op, compiled), [])
+        chain = _match_chain(node)
+        if chain is not None:
+            scan, pipeline = chain
+            compiled = compile_pipeline(pipeline) if len(pipeline) >= 2 else None
+            if compiled is not None:
+                return ExecNode(
+                    CompiledPipelineExec(scan, pipeline, None, compiled), [])
+            return node     # chains bottom out at the scan; nothing below
+        children = [self._fuse_pipelines(c) for c in node._children_nodes]
+        if all(new is old for new, old in zip(children, node._children_nodes)):
+            return node
+        return ExecNode(op, children)
 
     # Kernel-compiling operator factories: each tries to lower the expression
     # list into a vectorized kernel and silently keeps the interpreter

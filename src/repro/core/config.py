@@ -30,6 +30,7 @@ class constants:
     PARALLEL_MIN_ROWS = "parallel_min_rows"  # don't shard smaller inputs ("auto" adapts)
     # Expression codegen (TQP-style kernel compilation).
     COMPILE_EXPRS = "compile_exprs"        # compile Filter/Project expression kernels
+    COMPILE_PIPELINES = "compile_pipelines"  # fuse whole scan→filter→project→agg subtrees
     # Observability.
     TELEMETRY = "telemetry"                # trace every run (EXPLAIN ANALYZE forces it)
     SLOW_QUERY_SECONDS = "slow_query_seconds"  # slow-log threshold (None = session default)
@@ -51,6 +52,7 @@ _DEFAULTS = {
     constants.SHARDS: 1,
     constants.PARALLEL_MIN_ROWS: 64,
     constants.COMPILE_EXPRS: True,
+    constants.COMPILE_PIPELINES: True,
     constants.TELEMETRY: False,
     constants.SLOW_QUERY_SECONDS: None,
 }
@@ -174,6 +176,10 @@ class QueryConfig:
     @property
     def compile_exprs(self) -> bool:
         return bool(self._values[constants.COMPILE_EXPRS])
+
+    @property
+    def compile_pipelines(self) -> bool:
+        return bool(self._values[constants.COMPILE_PIPELINES])
 
     @property
     def telemetry(self) -> bool:

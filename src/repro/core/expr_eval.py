@@ -240,8 +240,18 @@ class ExpressionEvaluator:
     def _eval_BBuiltin(self, expr: b.BBuiltin) -> Value:
         name = expr.name
         values = [self.evaluate(a) for a in expr.args]
-        if name in ("UPPER", "LOWER", "LENGTH"):
+        if name in ("UPPER", "LOWER", "LENGTH", "TRIM"):
             return self._string_builtin(name, values[0])
+        if name in ("SUBSTR", "SUBSTRING"):
+            return self._substr(values)
+        if name == "COALESCE":
+            result = self._numeric_tensor(values[0])
+            for value in values[1:]:
+                if result.dtype.kind != "f":
+                    break   # non-float carries no NULLs; later args unreachable
+                mask = Tensor(np.isnan(result.detach().data), device=self.device)
+                result = ops.where(mask, self._numeric_tensor(value), result)
+            return self._plain(result)
         tensors = [self._numeric_tensor(v) for v in values]
         if name == "ABS":
             return self._plain(ops.abs(tensors[0]))
@@ -479,6 +489,8 @@ class ExpressionEvaluator:
                 return Scalar(text.upper())
             if name == "LOWER":
                 return Scalar(text.lower())
+            if name == "TRIM":
+                return Scalar(text.strip())
             return Scalar(len(text))
         strings = value.decode().astype(str)
         if name == "UPPER":
@@ -487,8 +499,30 @@ class ExpressionEvaluator:
         if name == "LOWER":
             return Column.from_values("", np.char.lower(strings).astype(object),
                                       device=self.device)
+        if name == "TRIM":
+            # str.strip per row: the compiled kernel applies the same python
+            # function per distinct dictionary string, so both legs agree.
+            trimmed = np.asarray([t.strip() for t in strings], dtype=object)
+            return Column.from_values("", trimmed, device=self.device)
         lengths = np.char.str_len(strings).astype(np.int64)
         return self._plain(Tensor(lengths, device=self.device))
+
+    def _substr(self, values: List[Value]) -> Value:
+        start = values[1]
+        length = values[2] if len(values) > 2 else None
+        if not isinstance(start, Scalar) \
+                or not (length is None or isinstance(length, Scalar)):
+            raise ExecutionError("SUBSTR start/length must be constant expressions")
+        begin = int(start.value)
+        count = None if length is None else int(length.value)
+        value = values[0]
+        if isinstance(value, Scalar):
+            return Scalar(string_kernels.substr_value(str(value.value), begin, count))
+        strings = value.decode().astype(str)
+        out = np.asarray(
+            [string_kernels.substr_value(t, begin, count) for t in strings],
+            dtype=object)
+        return Column.from_values("", out, device=self.device)
 
 
 def normalize_strings(column: Column) -> Column:

@@ -397,9 +397,20 @@ class ExprCompiler:
 
     def _compile_BBuiltin(self, expr: b.BBuiltin):
         name = expr.name
-        if name in ("UPPER", "LOWER", "LENGTH"):
+        if name in ("UPPER", "LOWER", "LENGTH", "TRIM"):
             return self._compile_string_builtin(name, expr.args[0])
+        if name in ("SUBSTR", "SUBSTRING"):
+            return self._compile_substr(expr)
         args = [self._num_fn(self.compile(a)) for a in expr.args]
+        if name == "COALESCE":
+            def coalesce(ctx):
+                result = args[0](ctx)
+                for fn in args[1:]:
+                    if result.dtype.kind != "f":
+                        break   # non-float carries no NULLs (interpreter parity)
+                    result = np.where(np.isnan(result), fn(ctx), result)
+                return result
+            return coalesce
         if name == "ABS":
             return lambda ctx: np.abs(args[0](ctx))
         if name == "SQRT":
@@ -449,7 +460,20 @@ class ExprCompiler:
                 return Scalar(text.upper())
             if name == "LOWER":
                 return Scalar(text.lower())
+            if name == "TRIM":
+                return Scalar(text.strip())
             return Scalar(len(text))
+        if name == "TRIM":
+            def trim(ctx):
+                column = _require_string_column(arg(ctx))
+                if not isinstance(column.encoding, DictionaryEncoding):
+                    raise KernelFallback("TRIM on non-dictionary column")
+                encoding, remap = string_kernels.string_transform(
+                    column.encoding, "trim", lambda s: s.strip())
+                codes = remap[column.tensor.detach().data]
+                return Column("", EncodedTensor(
+                    Tensor(codes, device=ctx.device), encoding))
+            return trim
         if name == "LENGTH":
             def length(ctx):
                 column = _require_string_column(arg(ctx))
@@ -469,6 +493,31 @@ class ExprCompiler:
             return Column("", EncodedTensor(Tensor(codes, device=ctx.device),
                                             encoding))
         return case
+
+    def _compile_substr(self, expr: b.BBuiltin):
+        arg = self.compile(expr.args[0])
+        params = [self.compile(a) for a in expr.args[1:]]
+        if not all(isinstance(p, Scalar) for p in params):
+            # The interpreter rejects non-constant bounds too; no fallback
+            # would help, but plan-time rejection keeps the error message.
+            raise UnsupportedExpr("SUBSTR with non-constant start/length")
+        start = int(params[0].value)
+        length = int(params[1].value) if len(params) > 1 else None
+        if isinstance(arg, Scalar):
+            return Scalar(string_kernels.substr_value(str(arg.value), start, length))
+        key = ("substr", start, length)
+
+        def substr(ctx):
+            column = _require_string_column(arg(ctx))
+            if not isinstance(column.encoding, DictionaryEncoding):
+                raise KernelFallback("SUBSTR on non-dictionary column")
+            encoding, remap = string_kernels.string_transform(
+                column.encoding, key,
+                lambda s: string_kernels.substr_value(s, start, length))
+            codes = remap[column.tensor.detach().data]
+            return Column("", EncodedTensor(
+                Tensor(codes, device=ctx.device), encoding))
+        return substr
 
     def _compile_BBetween(self, expr: b.BBetween):
         operand = self._once(expr.operand, self.compile(expr.operand))
@@ -578,9 +627,20 @@ class ExprCompiler:
         if isinstance(operand, Scalar):
             return Scalar(_cast_scalar(operand.value, target))
         if target.kind == "string":
-            # The interpreter's decode → str() per row is inherently
-            # row-wise python; deliberately left to the fallback.
-            raise UnsupportedExpr("CAST to string")
+            # Mirror the interpreter exactly: decode (identity for plain
+            # numeric data, strings for dictionaries) then str() per row —
+            # same np scalar types in, so identical text out.
+            def to_string(ctx):
+                value = operand(ctx)
+                if isinstance(value, Column):
+                    decoded = value.decode()
+                else:
+                    # (1,)-shaped literal-derived arrays expand here; string
+                    # columns are always full-length already.
+                    decoded = _expand(value, ctx.num_rows)
+                strings = np.asarray([str(v) for v in decoded], dtype=object)
+                return Column.from_values("", strings, device=ctx.device)
+            return to_string
         np_dtype = {"int": np.int64, "float": np.float32,
                     "bool": np.bool_}.get(target.kind)
         if np_dtype is None:

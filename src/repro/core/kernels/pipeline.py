@@ -1,0 +1,230 @@
+"""Whole-pipeline kernel compilation (TQP-style pipeline codegen).
+
+PR 6 compiled individual Filter/Project expression trees into vectorized
+kernels, but every operator still materialised its output relation and
+re-entered the interpreter loop before the next one ran. This module lowers
+a maximal breaker-free physical subtree — scan → filter(s) → project(s) →
+optional sort aggregate — into ONE compiled callable:
+
+* Every filter conjunct and projection expression is rewritten onto the
+  *base scan's* columns with classic projection inlining
+  (:func:`substitute_columns`), so the whole pipeline evaluates against a
+  single shared evaluator over the scanned table.
+* Selection stays an index vector: the fused conjunct list produces one
+  boolean mask over the base rows, ``np.flatnonzero`` turns it into
+  selection indices, and the projection / aggregate-input stage evaluates
+  through a :class:`_GatherEvaluator` — no intermediate ``Relation`` is
+  ever materialised between stages.
+* PR 6's expression kernels are the leaf lowering for the mask and
+  projection stages; aggregate inputs evaluate through the interpreter
+  exactly as the serial sort aggregate evaluates them (over the same
+  selected rows), then reduce with the shared sort-aggregate core.
+
+Bit-identity: element-wise expression evaluation commutes with row
+selection (gather-then-compute equals compute-then-gather per element), so
+ANDing all conjunct masks over the base rows selects exactly the rows the
+staged cascade selects, and evaluating substituted expressions over the
+selected view reproduces the staged results bit-for-bit. The *breakers* —
+shapes where that argument fails and the subtree stays on the per-operator
+path (the oracle) — are:
+
+* any UDF anywhere in the subtree (batch-shape- and cache-visible),
+* two-argument ROUND with a non-literal digits operand (reads element 0 of
+  its evaluated operand, which is row-position dependent),
+* expression shapes the expression compiler cannot lower
+  (:class:`UnsupportedExpr` → ``compile_filter``/``compile_projection``
+  return None), and
+* substitution failures (unknown node kinds).
+
+At run time a :class:`KernelFallback` from any stage aborts the fused run
+and the owning executor re-runs the per-operator pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.expr_eval import ExpressionEvaluator
+from repro.core.kernels.compiler import compile_filter, compile_projection
+from repro.core.operators.aggregate import SortAggregateExec
+from repro.core.operators.base import Relation
+from repro.core.operators.filter import FilterExec
+from repro.core.operators.fused import (
+    FusedFilterExec,
+    FusedFilterProjectExec,
+    _GatherEvaluator,
+    substitute_columns,
+)
+from repro.core.operators.project import ProjectExec
+from repro.errors import ExecutionError
+from repro.sql import bound as b
+from repro.storage.table import Table
+
+
+def _subexprs(expr: b.BoundExpr):
+    """Depth-first walk over a bound expression tree (generic over node
+    kinds: every bound node is a dataclass whose expression-valued fields
+    are BoundExpr instances, lists of them, or BCase's (cond, value) pairs)."""
+    import dataclasses
+    yield expr
+    for field in dataclasses.fields(expr):
+        value = getattr(expr, field.name)
+        if isinstance(value, b.BoundExpr):
+            yield from _subexprs(value)
+        elif isinstance(value, (list, tuple)):
+            for item in value:
+                if isinstance(item, b.BoundExpr):
+                    yield from _subexprs(item)
+                elif isinstance(item, tuple):
+                    for sub in item:
+                        if isinstance(sub, b.BoundExpr):
+                            yield from _subexprs(sub)
+
+
+def _position_dependent(expr: b.BoundExpr) -> bool:
+    """True when evaluating ``expr`` over a different row subset could
+    change its per-row values: two-argument ROUND reads element 0 of its
+    evaluated digits operand, so unless that operand is a literal the
+    result depends on which row happens to be first."""
+    for node in _subexprs(expr):
+        if isinstance(node, b.BBuiltin) and node.name == "ROUND" \
+                and len(node.args) == 2 \
+                and not isinstance(node.args[1], b.BLiteral):
+            return True
+    return False
+
+
+def _fusable(exprs: Sequence[b.BoundExpr]) -> bool:
+    return not any(e is None or e.contains_udf() or _position_dependent(e)
+                   for e in exprs)
+
+
+class CompiledPipeline:
+    """Plan-time artifact: base-level mask kernel + output stage.
+
+    ``run`` executes the whole fused subtree over a scanned relation. The
+    output stage is exactly one of: a projection kernel, a rewritten sort
+    aggregate, or a plain row gather (pure filter chains).
+    """
+
+    def __init__(self, filter_kernel, project_kernel, aggregate, stages: int):
+        self.filter_kernel = filter_kernel        # Optional[FilterKernel]
+        self.project_kernel = project_kernel      # Optional[ProjectKernel]
+        self.aggregate = aggregate                # Optional[SortAggregateExec]
+        self.stages = stages                      # fused operator count
+
+    def run(self, relation: Relation) -> Relation:
+        table = relation.table
+        if self.filter_kernel is not None:
+            mask = self.filter_kernel.mask(ExpressionEvaluator(table))
+            indices = np.flatnonzero(mask)
+            selected = _GatherEvaluator(table, indices)
+        else:
+            indices = None
+            selected = ExpressionEvaluator(table)
+        if self.aggregate is not None:
+            agg = self.aggregate
+            keys = [selected.evaluate_column(e, n)
+                    for e, n in zip(agg.group_exprs, agg.group_names)]
+            agg_inputs = [
+                selected.evaluate_column(s.arg, s.name) if s.arg is not None
+                else None
+                for s in agg.aggregates
+            ]
+            return agg.aggregate_evaluated(keys, agg_inputs,
+                                           selected.num_rows, table.device,
+                                           table.name)
+        if self.project_kernel is not None:
+            columns = self.project_kernel.columns(selected)
+            return Relation(Table(table.name, columns))
+        return Relation(table.take(indices))
+
+
+def compile_pipeline(pipeline: List, aggregate=None) -> Optional[CompiledPipeline]:
+    """Lower a row-wise operator chain (bottom-up, scan excluded) plus an
+    optional sort aggregate into one :class:`CompiledPipeline`.
+
+    Returns None when a breaker rule fires or there is nothing to fuse: a
+    lone Filter/Project without an aggregate on top already runs as a single
+    pass through the per-operator kernels.
+    """
+    if aggregate is not None and type(aggregate) is not SortAggregateExec:
+        return None
+    if not pipeline or (aggregate is None and len(pipeline) < 2):
+        return None
+
+    conjuncts: List[b.BoundExpr] = []
+    inner: Optional[List[b.BoundExpr]] = None   # current schema, base-level
+    names: Optional[List[str]] = None
+
+    def to_base(exprs):
+        if inner is None:
+            return list(exprs)
+        return [substitute_columns(e, inner) for e in exprs]
+
+    try:
+        for op in pipeline:
+            if isinstance(op, FusedFilterProjectExec):
+                if not _fusable(list(op.predicates) + list(op.exprs)):
+                    return None
+                conjuncts.extend(to_base(op.predicates))
+                inner = to_base(op.exprs)
+                names = list(op.names)
+            elif isinstance(op, FusedFilterExec):
+                if not _fusable(op.predicates):
+                    return None
+                conjuncts.extend(to_base(op.predicates))
+            elif isinstance(op, FilterExec):
+                if not _fusable([op.predicate]):
+                    return None
+                conjuncts.extend(to_base([op.predicate]))
+            elif isinstance(op, ProjectExec):
+                if not _fusable(op.exprs):
+                    return None
+                inner = to_base(op.exprs)
+                names = list(op.names)
+            else:
+                return None
+
+        fused_agg = None
+        if aggregate is not None:
+            group_exprs = list(aggregate.group_exprs)
+            specs = list(aggregate.aggregates)
+            if not _fusable(group_exprs + [s.arg for s in specs
+                                           if s.arg is not None]):
+                return None
+            group_exprs = to_base(group_exprs)
+            specs = [
+                b.AggSpec(func=s.func, arg=to_base([s.arg])[0],
+                          distinct=s.distinct, name=s.name,
+                          data_type=s.data_type)
+                if s.arg is not None else s
+                for s in specs
+            ]
+            fused_agg = SortAggregateExec(group_exprs,
+                                          list(aggregate.group_names), specs)
+    except ExecutionError:
+        return None
+
+    # Substitution can move a conjunct across a selection boundary (it now
+    # evaluates over all base rows); re-check position dependence on the
+    # rewritten forms too.
+    if any(_position_dependent(c) for c in conjuncts):
+        return None
+
+    filter_kernel = None
+    if conjuncts:
+        filter_kernel = compile_filter(conjuncts)
+        if filter_kernel is None:
+            return None
+    project_kernel = None
+    if fused_agg is None and inner is not None:
+        project_kernel = compile_projection(inner, names)
+        if project_kernel is None:
+            return None
+    if filter_kernel is None and project_kernel is None and fused_agg is None:
+        return None
+    stages = len(pipeline) + (1 if aggregate is not None else 0)
+    return CompiledPipeline(filter_kernel, project_kernel, fused_agg, stages)

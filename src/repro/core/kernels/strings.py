@@ -119,6 +119,41 @@ def _build_case_transform(encoding, upper):
     return new_encoding, inverse.reshape(-1).astype(np.int64)
 
 
+def substr_value(text: str, start: int, length) -> str:
+    """SQL SUBSTR semantics shared by the interpreter and the compiled
+    kernel: 1-based start (non-positive clamps to the string head),
+    optional length (non-positive yields the empty string)."""
+    begin = start - 1 if start > 0 else 0
+    if length is None:
+        return text[begin:]
+    if length <= 0:
+        return ""
+    return text[begin:begin + length]
+
+
+def string_transform(encoding: DictionaryEncoding, key,
+                     fn) -> Tuple[DictionaryEncoding, np.ndarray]:
+    """``(new_encoding, remap)`` lowering a per-distinct string function
+    (TRIM, SUBSTR with constant bounds, ...) to a code gather.
+
+    Same shape as :func:`case_transform`: apply ``fn`` once per distinct
+    string, restore sorted-unique form, and memoize on the (immutable)
+    encoding under ``key`` so repeated batches and shard helpers reuse it.
+    """
+    memo = encoding.__dict__.setdefault("_transform_memo", {})
+    hit = memo.get(key)
+    if hit is None:
+        strings = [fn(s) for s in encoding.strings]
+        transformed = _strings_to_codepoints(strings)
+        uniques, inverse = np.unique(transformed, axis=0, return_inverse=True)
+        new_encoding = DictionaryEncoding(
+            Tensor(np.ascontiguousarray(uniques, dtype=np.uint32),
+                   device=encoding.dictionary.device))
+        hit = (new_encoding, inverse.reshape(-1).astype(np.int64))
+        memo[key] = hit
+    return hit
+
+
 def length_transform(encoding: DictionaryEncoding) -> np.ndarray:
     """Per-distinct string lengths (int64); index with codes for LENGTH."""
     lengths = encoding.__dict__.get("_length_memo")

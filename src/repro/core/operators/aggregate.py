@@ -15,7 +15,7 @@ from repro.errors import ExecutionError
 from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.operators.base import Operator, Relation
 from repro.sql.bound import AggSpec, BoundExpr
-from repro.storage.column import Column
+from repro.storage.column import Column, concat_encoded
 from repro.storage.encodings import (
     DictionaryEncoding,
     EncodedTensor,
@@ -67,25 +67,24 @@ class _AggregateBase(Operator):
         ]
         return keys, agg_inputs
 
-    def _global_aggregate(self, relation: Relation,
-                          agg_inputs: List[Optional[Column]]) -> Relation:
-        n = relation.num_rows
+    def _global_aggregate(self, agg_inputs: List[Optional[Column]],
+                          n: int, device, table_name: str) -> Relation:
         columns = []
         for spec, arg in zip(self.aggregates, agg_inputs):
-            columns.append(_global_agg_column(spec, arg, n, relation.device))
-        return Relation(Table(relation.table.name, columns))
+            columns.append(_global_agg_column(spec, arg, n, device))
+        return Relation(Table(table_name, columns))
 
     def _empty_group_result(self, keys: List[Column],
                             agg_inputs: List[Optional[Column]],
-                            relation: Relation) -> Relation:
+                            device, table_name: str) -> Relation:
         """Zero groups for zero input rows, with dtype-correct agg columns
         (shared by the sort and hash implementations)."""
         columns = [k.take(np.zeros(0, dtype=np.int64)) for k in keys]
         for spec, arg in zip(self.aggregates, agg_inputs):
             columns.append(Column.from_values(
                 spec.name, np.zeros(0, dtype=_agg_output_dtype(spec, arg)),
-                device=relation.device))
-        return Relation(Table(relation.table.name, columns))
+                device=device))
+        return Relation(Table(table_name, columns))
 
 
 def _agg_output_dtype(spec: AggSpec, arg: Optional[Column]) -> np.dtype:
@@ -241,6 +240,172 @@ def merge_global_partials(spec: AggSpec, partials: Sequence[tuple],
     return Column.from_values(spec.name, np.asarray([merged]), device=device)
 
 
+# ----------------------------------------------------------------------
+# Grouped (GROUP BY) partials — the sort-aggregate core run per shard, then
+# once more over the per-shard representatives at the merge barrier. Exactness
+# mirrors the global-partial policy above (`spec_mergeable`): COUNT partials
+# add in int64, SUM/AVG partials only exist for integer/bool inputs (exact in
+# int64/float64), MIN/MAX combine with the same NaN-propagating comparisons.
+# Bit-identity of the *grouping* comes from shard-major concatenation: shards
+# are contiguous row ranges, so concatenating each shard's representative
+# keys in shard order reproduces the original relative row order, and the
+# same stable lexsort + change-point pass then selects exactly the groups,
+# group order and representative rows serial execution selects.
+# ----------------------------------------------------------------------
+class GroupedPartial:
+    """One shard's grouped-aggregate state: representative key columns plus
+    one partial-state vector (a tuple of aligned arrays) per aggregate spec,
+    each with one entry per group found in the shard."""
+
+    __slots__ = ("keys", "states", "groups")
+
+    def __init__(self, keys: List[Column], states: List[tuple], groups: int):
+        self.keys = keys
+        self.states = states
+        self.groups = groups
+
+
+def _empty_grouped_state(spec: AggSpec, arg: Optional[Column]) -> tuple:
+    if spec.func == "COUNT":
+        return (np.zeros(0, dtype=np.int64),)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    dtype = arg.tensor.detach().data.dtype
+    if spec.func == "AVG":
+        return (np.zeros(0, dtype=np.float64), np.zeros(0, dtype=np.int64))
+    return (np.zeros(0, dtype=dtype),)
+
+
+def _grouped_state(spec: AggSpec, arg: Optional[Column], order: np.ndarray,
+                   starts: np.ndarray, lengths: np.ndarray) -> tuple:
+    """Per-group partial vectors, computed exactly as the serial segment
+    reductions compute them (same reduceat calls, same dtypes)."""
+    if spec.func == "COUNT":
+        return (lengths.astype(np.int64),)
+    if arg is None:
+        raise ExecutionError(f"{spec.func} requires an argument")
+    if isinstance(arg.encoding, DictionaryEncoding):
+        raise ExecutionError(f"{spec.func} over string columns is not supported")
+    data = arg.tensor.detach().data[order]
+    if spec.func == "SUM":
+        return (np.add.reduceat(data, starts, axis=0),)
+    if spec.func == "AVG":
+        return (np.add.reduceat(data.astype(np.float64), starts, axis=0),
+                lengths.astype(np.int64))
+    if spec.func == "MIN":
+        return (np.minimum.reduceat(data, starts, axis=0),)
+    return (np.maximum.reduceat(data, starts, axis=0),)
+
+
+def grouped_partial(specs: Sequence[AggSpec], keys: List[Column],
+                    group_names: Sequence[str],
+                    agg_inputs: List[Optional[Column]], n: int) -> GroupedPartial:
+    """One shard's grouped partial state (requires every spec mergeable)."""
+    if n == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        rep_cols = [_group_output_column(k, empty, name)
+                    for k, name in zip(keys, group_names)]
+        states = [_empty_grouped_state(spec, arg)
+                  for spec, arg in zip(specs, agg_inputs)]
+        return GroupedPartial(rep_cols, states, 0)
+    key_arrays = [_key_array(k) for k in keys]
+    order, _, starts, lengths, rep_rows = sort_group_segments(key_arrays, n)
+    rep_cols = [_group_output_column(k, rep_rows, name)
+                for k, name in zip(keys, group_names)]
+    states = [_grouped_state(spec, arg, order, starts, lengths)
+              for spec, arg in zip(specs, agg_inputs)]
+    return GroupedPartial(rep_cols, states, len(starts))
+
+
+def _concat_rep_columns(pieces: Sequence[Column]) -> Column:
+    encoded = concat_encoded(pieces)
+    if encoded is None:
+        raise ExecutionError(
+            f"cannot merge grouped partials of key {pieces[0].name!r}: "
+            f"shards produced different encodings"
+        )
+    return Column(pieces[0].name, encoded)
+
+
+def _combine_grouped_state(spec: AggSpec, arrays: tuple, order: np.ndarray,
+                           starts: np.ndarray) -> np.ndarray:
+    """Reduce concatenated per-shard partial vectors segment-wise."""
+    if spec.func == "COUNT":
+        return np.add.reduceat(arrays[0][order], starts).astype(np.int64)
+    if spec.func == "SUM":
+        return np.add.reduceat(arrays[0][order], starts, axis=0)
+    if spec.func == "AVG":
+        # float64 partial sums / int64 partial counts: the same
+        # sums-over-lengths division (and final float32 narrowing) the
+        # serial segment AVG performs.
+        sums = np.add.reduceat(arrays[0][order], starts, axis=0)
+        counts = np.add.reduceat(arrays[1][order], starts)
+        return (sums / counts).astype(np.float32)
+    if spec.func == "MIN":
+        return np.minimum.reduceat(arrays[0][order], starts, axis=0)
+    return np.maximum.reduceat(arrays[0][order], starts, axis=0)
+
+
+def _merged_empty_state(spec: AggSpec, arrays: tuple) -> np.ndarray:
+    if spec.func == "AVG":
+        return np.zeros(0, dtype=np.float32)
+    return arrays[0]
+
+
+def merge_grouped_partials(agg, partials: Sequence[GroupedPartial],
+                           device, table_name: str) -> Relation:
+    """Combine shard grouped-partials into the final GROUP BY relation,
+    bit-identical with ``SortAggregateExec`` over the unsharded input."""
+    specs = agg.aggregates
+    names = agg.group_names
+    key_cols = [
+        _concat_rep_columns([p.keys[i] for p in partials])
+        for i in range(len(names))
+    ]
+    state_arrays = [
+        tuple(np.concatenate([p.states[i][j] for p in partials])
+              for j in range(len(partials[0].states[i])))
+        for i in range(len(specs))
+    ]
+    total = sum(p.groups for p in partials)
+    if total == 0:
+        columns = list(key_cols)
+        for spec, arrays in zip(specs, state_arrays):
+            columns.append(Column.from_values(
+                spec.name, _merged_empty_state(spec, arrays), device=device))
+        return Relation(Table(table_name, columns))
+    key_arrays = [_key_array(c) for c in key_cols]
+    order, _, starts, _, rep_rows = sort_group_segments(key_arrays, total)
+    columns = [_group_output_column(c, rep_rows, name)
+               for c, name in zip(key_cols, names)]
+    for spec, arrays in zip(specs, state_arrays):
+        columns.append(Column.from_values(
+            spec.name, _combine_grouped_state(spec, arrays, order, starts),
+            device=device))
+    return Relation(Table(table_name, columns))
+
+
+def sort_group_segments(key_arrays: List[np.ndarray], n: int) -> tuple:
+    """Stable lexsort + segment-boundary detection: the sort-aggregate core.
+
+    Returns ``(order, sorted_keys, starts, lengths, rep_rows)``. Shared by
+    the serial sort aggregate, the per-shard grouped partials and the
+    grouped-partial merge, so the three paths cannot drift (NaN keys each
+    form their own group under the ``!=`` change-point rule; the stable sort
+    keeps them — and every group's representative row — in input order).
+    """
+    order = np.lexsort(tuple(reversed(key_arrays)))
+    sorted_keys = [arr[order] for arr in key_arrays]
+    change = np.zeros(n, dtype=bool)
+    change[0] = True
+    for arr in sorted_keys:
+        change[1:] |= arr[1:] != arr[:-1]
+    starts = np.flatnonzero(change)
+    lengths = np.diff(np.append(starts, n))
+    rep_rows = order[starts]
+    return order, sorted_keys, starts, lengths, rep_rows
+
+
 class SortAggregateExec(_AggregateBase):
     """Sort → segment boundaries → reduceat (works for any key cardinality)."""
 
@@ -251,22 +416,26 @@ class SortAggregateExec(_AggregateBase):
                 "query with TRAINABLE to use soft operators"
             )
         keys, agg_inputs = self._evaluate_inputs(relation)
+        return self.aggregate_evaluated(keys, agg_inputs, relation.num_rows,
+                                        relation.device, relation.table.name)
+
+    def aggregate_evaluated(self, keys: List[Column],
+                            agg_inputs: List[Optional[Column]], n: int,
+                            device, table_name: str) -> Relation:
+        """Aggregate already-evaluated key/argument columns.
+
+        Split out of ``forward`` so the fused-pipeline path can feed columns
+        evaluated over a selection view without materialising the projected
+        relation first — the computation is identical by construction.
+        """
         if not keys:
-            return self._global_aggregate(relation, agg_inputs)
-        n = relation.num_rows
+            return self._global_aggregate(agg_inputs, n, device, table_name)
         if n == 0:
-            return self._empty_group_result(keys, agg_inputs, relation)
+            return self._empty_group_result(keys, agg_inputs, device, table_name)
 
         key_arrays = [_key_array(k) for k in keys]
-        order = np.lexsort(tuple(reversed(key_arrays)))
-        sorted_keys = [arr[order] for arr in key_arrays]
-        change = np.zeros(n, dtype=bool)
-        change[0] = True
-        for arr in sorted_keys:
-            change[1:] |= arr[1:] != arr[:-1]
-        starts = np.flatnonzero(change)
-        lengths = np.diff(np.append(starts, n))
-        rep_rows = order[starts]
+        order, sorted_keys, starts, lengths, rep_rows = \
+            sort_group_segments(key_arrays, n)
 
         columns = [
             _group_output_column(k, rep_rows, name)
@@ -274,8 +443,8 @@ class SortAggregateExec(_AggregateBase):
         ]
         for spec, arg in zip(self.aggregates, agg_inputs):
             columns.append(_segment_agg_column(spec, arg, order, starts, lengths,
-                                               sorted_keys, relation.device))
-        return Relation(Table(relation.table.name, columns))
+                                               sorted_keys, device))
+        return Relation(Table(table_name, columns))
 
     def describe(self) -> str:
         return f"SortAggregate(groups={self.group_names})"
@@ -322,10 +491,12 @@ class HashAggregateExec(_AggregateBase):
             )
         keys, agg_inputs = self._evaluate_inputs(relation)
         if not keys:
-            return self._global_aggregate(relation, agg_inputs)
+            return self._global_aggregate(agg_inputs, relation.num_rows,
+                                          relation.device, relation.table.name)
         n = relation.num_rows
         if n == 0:
-            return self._empty_group_result(keys, agg_inputs, relation)
+            return self._empty_group_result(keys, agg_inputs, relation.device,
+                                            relation.table.name)
 
         # Factorise each key column on its own dtype, then combine the int64
         # codes: stacking mixed int/float keys directly would promote int64

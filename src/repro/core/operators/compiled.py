@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.core.expr_eval import ExpressionEvaluator
 from repro.core.kernels.compiler import FilterKernel, KernelFallback, ProjectKernel
-from repro.core.operators.base import Relation
+from repro.core.operators.base import Operator, Relation
 from repro.core.operators.filter import FilterExec
 from repro.core.telemetry import annotate
 from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec, _GatherEvaluator
@@ -95,6 +95,51 @@ class CompiledFusedFilterProjectExec(FusedFilterProjectExec):
 
     def describe(self) -> str:
         return "Compiled" + super().describe()
+
+
+class CompiledPipelineExec(Operator):
+    """A whole fused scan→filter→project[→aggregate] subtree as one operator.
+
+    The happy path runs the plan-time :class:`CompiledPipeline` callable —
+    one mask pass, one gather, one output stage. Any :class:`KernelFallback`
+    re-runs the retained per-operator chain (scan excluded: the scan result
+    feeds both paths), which is the fused path's bit-identity oracle. The
+    operators stay registered as submodules so UDF wiring, plan reuse and
+    EXPLAIN output all see the original pipeline shape.
+    """
+
+    def __init__(self, scan, pipeline: List[Operator], aggregate, compiled):
+        super().__init__()
+        self.scan = scan
+        self.pipeline = list(pipeline)
+        self.aggregate = aggregate          # Optional serial aggregate op
+        self.compiled = compiled            # kernels.pipeline.CompiledPipeline
+        self.register_module("scan_op", scan)
+        for i, op in enumerate(self.pipeline):
+            self.register_module(f"stage{i}_op", op)
+        if aggregate is not None:
+            self.register_module("agg_op", aggregate)
+
+    def forward(self, relation: Relation = None) -> Relation:
+        base = self.scan(None)
+        try:
+            result = self.compiled.run(base)
+        except KernelFallback:
+            annotate(path="fallback")
+            result = base
+            for op in self.pipeline:
+                result = op(result)
+            if self.aggregate is not None:
+                result = self.aggregate(result)
+            return result
+        annotate(path="pipeline", stages=self.compiled.stages)
+        return result
+
+    def describe(self) -> str:
+        parts = [self.scan.describe()] + [op.describe() for op in self.pipeline]
+        if self.aggregate is not None:
+            parts.append(self.aggregate.describe())
+        return "CompiledPipeline[" + " -> ".join(parts) + "]"
 
 
 class CompiledProjectExec(ProjectExec):

@@ -27,11 +27,15 @@ import time
 from typing import List, Optional
 
 from repro.core import tensor_cache as tc
+from repro.core.kernels.compiler import KernelFallback
+from repro.core.scheduler import new_encode_scope
 from repro.core.operators.aggregate import (
     HashAggregateExec,
     SortAggregateExec,
     global_partial,
+    grouped_partial,
     merge_global_partials,
+    merge_grouped_partials,
     spec_mergeable,
 )
 from repro.core.operators.base import Operator, Relation
@@ -61,6 +65,18 @@ def _op_exprs(op: Operator) -> list:
 
 def _exprs_contain_udf(exprs) -> bool:
     return any(e is not None and e.contains_udf() for e in exprs)
+
+
+def _begin_batcher_scope() -> None:
+    """Open a per-task batcher registration scope for this shard task.
+
+    Tasks run under a *copy* of the submitter's context, so the fresh scope
+    shadows — never clobbers — the submitting statement's registration:
+    when a coordinator thread helps run a shard task, the task's
+    ``statement_finished`` retires only the task's own encode stream, not
+    the coordinator's statement (the early-flush tradeoff PR 5 documented)."""
+    if tc.active_batcher() is not None:
+        new_encode_scope()
 
 
 def _finish_batcher_statement() -> None:
@@ -108,6 +124,10 @@ class _ShardedBase(Operator):
         self.pool = pool
         self.shards = int(shards)
         self.min_rows = int(min_rows)
+        # Optional whole-pipeline kernel (attached by the compiler's
+        # pipeline-fusion pass): runs the row-wise body as one fused
+        # callable per shard, with the per-operator loop as runtime oracle.
+        self.compiled_pipeline = None
         self.register_module("scan_op", scan)
         for i, op in enumerate(self.pipeline):
             self.register_module(f"stage{i}", op)
@@ -137,6 +157,14 @@ class _ShardedBase(Operator):
         return plan_shards(num_rows, shards, self.min_rows, align)
 
     def _run_pipeline(self, relation: Relation) -> Relation:
+        if self.compiled_pipeline is not None:
+            try:
+                result = self.compiled_pipeline.run(relation)
+            except KernelFallback:
+                annotate(path="fallback")
+            else:
+                annotate(path="pipeline")
+                return result
         if not tracing():
             for op in self.pipeline:
                 relation = op(relation)
@@ -153,7 +181,10 @@ class _ShardedBase(Operator):
 
     def _pipeline_text(self) -> str:
         parts = [self.scan.describe()] + [op.describe() for op in self.pipeline]
-        return " -> ".join(parts)
+        text = " -> ".join(parts)
+        if self.compiled_pipeline is not None:
+            return f"fused[{text}]"
+        return text
 
 
 class ShardedScanExec(_ShardedBase):
@@ -175,6 +206,7 @@ class ShardedScanExec(_ShardedBase):
 
         def make_task(table, index):
             def task():
+                _begin_batcher_scope()
                 start = time.perf_counter()
                 # Shard tasks run under a copy of the submitter's context,
                 # so this span nests inside the sharded operator's span
@@ -229,6 +261,7 @@ class ShardedAggregateExec(_ShardedBase):
 
         def make_task(table, index):
             def task():
+                _begin_batcher_scope()
                 with span("shard", index=index, rows=table.num_rows):
                     try:
                         rel = self._run_pipeline(Relation(table))
@@ -259,6 +292,63 @@ class ShardedAggregateExec(_ShardedBase):
         aggs = ", ".join(str(s) for s in self.agg.aggregates)
         return (f"ShardedAggregate([{aggs}], shards={self.shards}): "
                 f"{self._pipeline_text()}")
+
+
+class ShardedGroupedAggregateExec(_ShardedBase):
+    """Grouped (GROUP BY) aggregation over a sharded pipeline prefix.
+
+    Each shard runs the row-wise prefix and reduces its rows to per-group
+    partial states with the sort-aggregate core; the driver merges the
+    per-shard ``(representative keys, partial vectors)`` at the barrier —
+    bit-identical with the serial sort aggregate because shard-major
+    concatenation preserves row order and the merge reruns the identical
+    stable sort + change-point grouping over the representatives. Only
+    lowered for the sort implementation with every spec exact-mergeable.
+    """
+
+    def __init__(self, agg: SortAggregateExec, scan: ScanExec,
+                 pipeline: List[Operator], pool, shards: int, min_rows: int):
+        super().__init__(scan, pipeline, pool, shards, min_rows)
+        self.agg = agg                      # the serial aggregate operator
+        self.register_module("agg_op", agg)
+        self._agg_has_udf = _exprs_contain_udf(
+            list(agg.group_exprs) + [spec.arg for spec in agg.aggregates])
+
+    def forward(self, relation=None) -> Relation:
+        base = self.scan(None)
+        bounds = self._bounds(base.num_rows, extra_udf=self._agg_has_udf)
+        annotate(shards=len(bounds), base_rows=base.num_rows)
+        if len(bounds) <= 1:
+            return self.agg(self._run_pipeline(base))
+        tables = shard_slices(base.table, bounds)
+        agg = self.agg
+
+        def make_task(table, index):
+            def task():
+                _begin_batcher_scope()
+                with span("shard", index=index, rows=table.num_rows):
+                    try:
+                        rel = self._run_pipeline(Relation(table))
+                        keys, agg_inputs = agg._evaluate_inputs(rel)
+                        return grouped_partial(agg.aggregates, keys,
+                                               agg.group_names, agg_inputs,
+                                               rel.num_rows)
+                    finally:
+                        _finish_batcher_statement()
+            return task
+
+        with span("shard_barrier", shards=len(tables)):
+            shard_partials = run_sharded(
+                self.pool, [make_task(t, i) for i, t in enumerate(tables)])
+        with span("merge", shards=len(shard_partials),
+                  groups=sum(p.groups for p in shard_partials)):
+            return merge_grouped_partials(agg, shard_partials, base.device,
+                                          base.table.name)
+
+    def describe(self) -> str:
+        aggs = ", ".join(str(s) for s in self.agg.aggregates)
+        return (f"ShardedGroupedAggregate(groups={self.agg.group_names}, "
+                f"[{aggs}], shards={self.shards}): {self._pipeline_text()}")
 
 
 # ----------------------------------------------------------------------
@@ -304,6 +394,20 @@ def parallelize(root, config, pool, exec_node_cls):
                 return exec_node_cls(
                     ShardedAggregateExec(op, scan, pipeline, pool,
                                          shards, min_rows), [])
+        # Grouped aggregates shard only on the sort implementation: the
+        # grouped-partial merge reruns the sort-aggregate core, so its
+        # group order and representative-row selection match that operator
+        # (the hash variant behind GROUPBY_IMPL stays serial).
+        if type(op) is SortAggregateExec \
+                and op.group_exprs \
+                and all(spec_mergeable(s) for s in op.aggregates) \
+                and len(node._children_nodes) == 1:
+            chain = _match_chain(node._children_nodes[0])
+            if chain is not None:
+                scan, pipeline = chain
+                return exec_node_cls(
+                    ShardedGroupedAggregateExec(op, scan, pipeline, pool,
+                                                shards, min_rows), [])
         chain = _match_chain(node)
         if chain is not None and chain[1]:
             scan, pipeline = chain

@@ -52,6 +52,7 @@ its condition so waiting threads only block on the GIL-released numpy work.
 from __future__ import annotations
 
 import contextlib
+import contextvars
 import threading
 import time
 from concurrent.futures import Future
@@ -63,6 +64,23 @@ from repro.core.config import QueryConfig
 from repro.core.telemetry import span, tracing
 from repro.tcr import ops
 from repro.tcr.device import as_device
+
+# Batcher registration scope. Each statement — and each shard task, which
+# runs under a *copy* of the submitter's context — opens a fresh token, so
+# the batcher tracks encode streams per (thread, statement) rather than per
+# bare thread. Without the token, a coordinator thread helping run shard
+# tasks of statement A while also mid-encode in statement B would be one
+# conflated registry entry, and the shard task's ``statement_finished``
+# would deregister the thread entirely — the early-flush tradeoff PR 5
+# documented. A ``None`` token (direct batcher use outside the scheduler)
+# falls back to the bare thread ident.
+_ENCODE_SCOPE: "contextvars.ContextVar[Optional[object]]" = contextvars.ContextVar(
+    "repro_encode_scope", default=None)
+
+
+def new_encode_scope() -> None:
+    """Open a fresh batcher registration scope in the current context."""
+    _ENCODE_SCOPE.set(object())
 
 
 class _EncodeRequest:
@@ -106,8 +124,12 @@ class InferenceBatcher:
         self._cond = threading.Condition()
         self._pending: List[_EncodeRequest] = []
         self._inflight: dict = {}
-        self._encoders: set = set()   # worker idents seen encoding this statement
-        self._blocked: set = set()    # worker idents currently waiting in encode()
+        # Both sets hold (thread, statement)-scope keys (see _scope_key):
+        # encode streams seen encoding, and streams currently waiting in
+        # encode(). One thread serving several streams — the coordinator
+        # helping with shard tasks — contributes one entry per stream.
+        self._encoders: set = set()
+        self._blocked: set = set()
         self.requests = 0
         self.joins = 0
         self.forwards = 0
@@ -117,11 +139,26 @@ class InferenceBatcher:
     # ------------------------------------------------------------------
     # Worker bookkeeping (called by QueryScheduler)
     # ------------------------------------------------------------------
-    def statement_finished(self) -> None:
-        """The calling worker finished its statement: stop waiting for it."""
+    @staticmethod
+    def _scope_key():
+        """Registration key for the calling encode stream.
+
+        ``(thread, statement-token)`` when a scope is open (scheduler
+        statements, shard tasks); the bare thread ident otherwise, so
+        direct batcher use keeps the original per-thread semantics."""
+        token = _ENCODE_SCOPE.get()
         ident = threading.get_ident()
+        return ident if token is None else (ident, token)
+
+    def statement_finished(self) -> None:
+        """The calling encode stream ended: stop waiting for it.
+
+        Retires exactly the caller's (thread, statement) scope — a shard
+        task finishing on a coordinator thread no longer deregisters the
+        coordinator's own statement mid-encode."""
+        key = self._scope_key()
         with self._cond:
-            self._encoders.discard(ident)
+            self._encoders.discard(key)
             self._cond.notify_all()
 
     # ------------------------------------------------------------------
@@ -143,32 +180,32 @@ class InferenceBatcher:
             return self._encode(model, orig, images, tag, token, fp, cache)
 
     def _encode(self, model, orig, images, tag, token, fp, cache):
-        ident = threading.get_ident()
+        scope = self._scope_key()
         key = (token, str(images.device), tag.base, tag.rows_fp)
         device = str(images.device)
         batch = None
         joined = None
         with self._cond:
             self.requests += 1
-            self._encoders.add(ident)
+            self._encoders.add(scope)
             req = self._inflight.get(key)
             if req is not None:
                 # In-flight dedup: the same (model, content) is pending or
                 # computing — wait for that single forward pass.
                 self.joins += 1
-                self._blocked.add(ident)
+                self._blocked.add(scope)
                 try:
                     while not req.done:
                         self._cond.wait(0.05)
                 finally:
-                    self._blocked.discard(ident)
+                    self._blocked.discard(scope)
                 joined = req
             else:
                 req = _EncodeRequest(key, model, orig, images, tag, token,
                                      fp, cache)
                 self._pending.append(req)
                 self._inflight[key] = req
-                self._blocked.add(ident)
+                self._blocked.add(scope)
                 deadline = time.monotonic() + self.window
                 try:
                     while not req.done:
@@ -186,7 +223,7 @@ class InferenceBatcher:
                         self._cond.wait(min(self.window,
                                             max(deadline - now, 1e-4)))
                 finally:
-                    self._blocked.discard(ident)
+                    self._blocked.discard(scope)
         metrics = self._metrics
         if metrics is not None:
             metrics.counter("batcher.requests").inc()
@@ -458,6 +495,11 @@ class QueryScheduler:
                  else contextlib.nullcontext())
         try:
             with scope:
+                if self.batcher is not None:
+                    # Fresh per-statement registration scope: shard tasks
+                    # copy it and then shadow it with their own (see
+                    # InferenceBatcher._scope_key).
+                    new_encode_scope()
                 query = self.session.compile_query(
                     job.statement, device=job.device,
                     extra_config=job.extra_config)

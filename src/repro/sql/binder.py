@@ -39,8 +39,29 @@ _STRING_BUILTINS = {
     "UPPER": (1, 1, lambda args: dt.STRING),
     "LOWER": (1, 1, lambda args: dt.STRING),
     "LENGTH": (1, 1, lambda args: dt.INT),
+    "TRIM": (1, 1, lambda args: dt.STRING),
+    "SUBSTR": (2, 3, lambda args: dt.STRING),
+    "SUBSTRING": (2, 3, lambda args: dt.STRING),
 }
-BUILTINS = {**_NUMERIC_BUILTINS, **_STRING_BUILTINS}
+
+
+def _coalesce_type(args) -> dt.DataType:
+    # NULLs live only in float columns (NaN), so string COALESCE has no
+    # meaning here; a float anywhere makes the whole result float (the
+    # fill value flows into NaN slots), otherwise the first arg's type —
+    # a NULL-free int/bool first arg short-circuits and keeps its type.
+    for arg in args:
+        if arg.data_type.kind == "string":
+            raise BindError("COALESCE over string arguments is not supported")
+    if any(arg.data_type.kind == "float" for arg in args):
+        return dt.FLOAT
+    return args[0].data_type
+
+
+_GENERIC_BUILTINS = {
+    "COALESCE": (1, None, _coalesce_type),
+}
+BUILTINS = {**_NUMERIC_BUILTINS, **_STRING_BUILTINS, **_GENERIC_BUILTINS}
 
 
 class Scope:

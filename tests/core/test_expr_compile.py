@@ -22,6 +22,7 @@ import numpy as np
 import pytest
 
 from repro.core.config import QueryConfig
+from repro.errors import ExecutionError
 from repro.core.kernels import strings as string_kernels
 from repro.core.kernels.compiler import (
     FilterKernel,
@@ -143,18 +144,46 @@ class TestFallbacks:
         assert "Compiled" not in off.explain()
 
     def test_plan_time_fallback_on_unsupported_projection(self):
-        """CAST to a string target has no kernel lowering: the planner must
-        keep the interpreted operator, and results must not change."""
+        """SUBSTR with a non-constant start has no kernel lowering (the
+        kernel folds bounds at plan time): the planner must keep the
+        interpreted operator rather than emit a broken kernel. The
+        engine-wide contract (interpreter included) is constant bounds, so
+        both paths surface the same ExecutionError at run time."""
         session = _numbers_session()
-        stmt = "SELECT id, CAST(x AS STRING) AS sx FROM t WHERE x > 0"
+        stmt = ("SELECT id, SUBSTR(s, 1 + x % 2, 2) AS sx FROM t "
+                "WHERE x > 0")
         compiled = session.sql.query(stmt,
                                      extra_config={"compile_exprs": True})
         # The operator producing `sx` stays interpreted; inner pruning
-        # projections without the cast may still compile.
+        # projections without the substring may still compile.
         sx_ops = [line for line in compiled.explain().splitlines()
                   if "sx" in line and "(" in line]
         assert sx_ops and all("Compiled" not in line for line in sx_ops), \
             compiled.explain()
+        for extra in ({"compile_exprs": True}, {"compile_exprs": False}):
+            with pytest.raises(ExecutionError, match="constant"):
+                session.sql.query(stmt, extra_config=extra).run()
+
+    def test_cast_to_string_now_compiles(self):
+        """CAST to STRING gained a kernel lowering (PR 8): it compiles and
+        stays bit-identical with the interpreter."""
+        session = _numbers_session()
+        stmt = "SELECT id, CAST(x AS STRING) AS sx FROM t WHERE x > 0"
+        compiled = session.sql.query(stmt,
+                                     extra_config={"compile_exprs": True})
+        assert "Compiled" in compiled.explain()
+        base = session.sql.query(stmt, extra_config={"compile_exprs": False})
+        _assert_equal_results(_snapshot(base.run()),
+                              _snapshot(compiled.run()), stmt)
+
+    def test_cast_to_string_now_compiles(self):
+        """CAST to STRING gained a kernel lowering (PR 8): it compiles and
+        stays bit-identical with the interpreter."""
+        session = _numbers_session()
+        stmt = "SELECT id, CAST(x AS STRING) AS sx FROM t WHERE x > 0"
+        compiled = session.sql.query(stmt,
+                                     extra_config={"compile_exprs": True})
+        assert "Compiled" in compiled.explain()
         base = session.sql.query(stmt, extra_config={"compile_exprs": False})
         _assert_equal_results(_snapshot(base.run()),
                               _snapshot(compiled.run()), stmt)

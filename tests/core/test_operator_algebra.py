@@ -15,7 +15,9 @@ Four algebraic contracts the execution engine relies on:
   over randomized expression trees (arithmetic, comparisons, CASE, CAST,
   builtins, LIKE/IN/BETWEEN/IS NULL, NULL/NaN data, empty and single-row
   tables, dictionary- and char-code-encoded string columns), serial and
-  sharded.
+  sharded — and the same law over *whole-pipeline* callables
+  (`compile_pipelines` on): fused scan→filter→project[→grouped aggregate]
+  kernels at shards 1/3/4, including the sharded grouped-partial merge.
 """
 
 import numpy as np
@@ -217,10 +219,19 @@ def test_partial_merge_equals_whole_int(values, cuts, func):
 # ----------------------------------------------------------------------
 # Compiled kernels ≡ interpreter
 # ----------------------------------------------------------------------
-INTERP_CONFIG = {"compile_exprs": False}
+INTERP_CONFIG = {"compile_exprs": False, "compile_pipelines": False}
 KERNEL_CONFIGS = (
-    {"compile_exprs": True},
-    {"compile_exprs": True, "shards": 3, "parallel_min_rows": 2},
+    {"compile_exprs": True, "compile_pipelines": False},
+    {"compile_exprs": True, "compile_pipelines": False,
+     "shards": 3, "parallel_min_rows": 2},
+    # Whole-pipeline codegen (PR 8): the same law over fused callables,
+    # serial and sharded (odd and even shard counts — unequal and equal
+    # grouped-partial splits).
+    {"compile_exprs": True, "compile_pipelines": True},
+    {"compile_exprs": True, "compile_pipelines": True,
+     "shards": 3, "parallel_min_rows": 2},
+    {"compile_exprs": True, "compile_pipelines": True,
+     "shards": 4, "parallel_min_rows": 2},
 )
 
 _NUM_LEAVES = ("id", "x", "y", "3", "0.5", "-2")
@@ -341,6 +352,20 @@ def test_compiled_equals_interpreted(data, num, cond):
     single rows come from the `tables()` strategy)."""
     session = _register(data)
     stmt = f"SELECT id, {num} AS e0, s FROM t WHERE {cond}"
+    _assert_compiled_law(session, stmt)
+
+
+@settings(**SETTINGS)
+@given(data=tables(), num=num_exprs(), cond=bool_exprs())
+def test_pipeline_grouped_aggregate_law(data, num, cond):
+    """The compiled ≡ interpreted law over whole-pipeline callables ending
+    in a grouped aggregate (filter → project → GROUP BY). Int aggregates
+    shard through exact-mergeable grouped partials; AVG over a float
+    expression is non-mergeable and must keep the merge barrier — both
+    sides of that plan-time split have to hold the law bit-for-bit."""
+    session = _register(data)
+    stmt = (f"SELECT s, COUNT(*) AS c, SUM(x + 1) AS sm, MIN({num}) AS mn, "
+            f"AVG(y) AS av FROM t WHERE {cond} GROUP BY s")
     _assert_compiled_law(session, stmt)
 
 

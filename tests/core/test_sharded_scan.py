@@ -134,12 +134,20 @@ class TestLowering:
         assert "ShardedAggregate(" not in text
         assert "ShardedScan(" in text
 
-    def test_group_by_takes_merge_barrier(self):
+    def test_group_by_lowered_to_grouped_partials(self):
         q = _session().sql.query(
             "SELECT s, COUNT(*) FROM t WHERE x > 10 GROUP BY s",
             extra_config={"shards": 4})
+        assert "ShardedGroupedAggregate(" in q.explain()
+
+    def test_float_sum_group_by_takes_merge_barrier(self):
+        # Float partial sums would reorder rounding even per group: the
+        # grouped aggregate stays serial, only the pipeline below it shards.
+        q = _session().sql.query(
+            "SELECT s, SUM(y) FROM t WHERE x > 10 GROUP BY s",
+            extra_config={"shards": 4})
         text = q.explain()
-        assert "ShardedAggregate(" not in text
+        assert "ShardedGroupedAggregate(" not in text
         assert "ShardedScan(" in text
 
     def test_shards_1_and_trainable_stay_serial(self):

@@ -283,6 +283,68 @@ def _group_agg_stmt(r: random.Random) -> DiffStatement:
     return DiffStatement(sql, table, list(keys), ordered, oracle=True)
 
 
+def _pipeline_group_stmt(r: random.Random) -> DiffStatement:
+    """Filter → (computed) project → GROUP BY: the exact shape PR 8's
+    whole-pipeline compiler fuses (and lowers to grouped partials under
+    shards), with expression-valued aggregate arguments so the fused
+    projection feeds the aggregate. Miniduck evaluates expression
+    aggregates, so this stays oracle-covered."""
+    table = _pick_table(r)
+    keys = r.choice([["s"], ["a"], ["b"], ["s", "b"]])
+    items = list(keys)
+    for i in range(r.randint(1, 3)):
+        alias = f"agg{i}"
+        roll = r.random()
+        if roll < 0.3:
+            items.append(f"COUNT(*) AS {alias}")
+        elif roll < 0.6:
+            col = r.choice(INT_COLS)
+            items.append(f"SUM({col} {r.choice(['+', '*'])} "
+                         f"{r.randint(1, 4)}) AS {alias}")
+        elif roll < 0.8:
+            items.append(f"{r.choice(['MIN', 'MAX'])}"
+                         f"({r.choice(INT_COLS)} % {r.randint(2, 9)}) AS {alias}")
+        else:
+            items.append(f"AVG({r.choice(FLOAT_COLS)} * "
+                         f"{_float_literal(r)}) AS {alias}")
+    sql = f"SELECT {', '.join(items)} FROM {table}"
+    sql += f" WHERE {_predicate(r)}"
+    sql += f" GROUP BY {', '.join(keys)}"
+    ordered = False
+    if r.random() < 0.4:
+        sql += f" ORDER BY {', '.join(keys)}"
+        ordered = True
+    return DiffStatement(sql, table, list(keys), ordered, oracle=True)
+
+
+def _builtin_stmt(r: random.Random) -> DiffStatement:
+    """Engine-only: scalar builtins/CAST the oracle has no functions for
+    (PR 8's TRIM/SUBSTR/COALESCE and CAST-to-string kernel lowerings).
+    Checked for shard- and kernel-invariance like every statement."""
+    table = _pick_table(r)
+    makers = [
+        lambda: f"TRIM({STRING_COL})",
+        lambda: f"SUBSTR({STRING_COL}, {r.randint(-1, 4)}, {r.randint(0, 5)})",
+        lambda: f"SUBSTR({STRING_COL}, {r.randint(1, 3)})",
+        lambda: f"COALESCE(g, {_float_literal(r)})",
+        lambda: f"COALESCE(g, f, {_float_literal(r)})",
+        lambda: f"CAST({r.choice(INT_COLS)} AS STRING)",
+        lambda: f"CAST(f AS STRING)",
+        lambda: f"CAST(f AS INT)",
+        lambda: f"LENGTH(TRIM({STRING_COL}))",
+        lambda: f"UPPER(SUBSTR({STRING_COL}, 1, 3))",
+    ]
+    items = ["id"] + [f"{maker()} AS e{i}"
+                      for i, maker in enumerate(r.sample(makers, r.randint(1, 3)))]
+    sql = f"SELECT {', '.join(items)} FROM {table}"
+    if r.random() < 0.7:
+        sql += f" WHERE {_predicate(r)}"
+    if r.random() < 0.3:
+        sql += " ORDER BY id"
+    return DiffStatement(sql, table, ["id"], ordered="ORDER BY" in sql,
+                         oracle=False)
+
+
 def _join_stmt(r: random.Random) -> DiffStatement:
     """Engine-only: the oracle has no join support."""
     table = r.choice(["t0", "t1", "t_tiny"])
@@ -298,12 +360,14 @@ def _join_stmt(r: random.Random) -> DiffStatement:
 
 
 _SHAPES = [
-    (_projection_stmt, 0.30),
-    (_alias_order_stmt, 0.12),
-    (_distinct_stmt, 0.10),
-    (_global_agg_stmt, 0.18),
-    (_group_agg_stmt, 0.20),
-    (_join_stmt, 0.10),
+    (_projection_stmt, 0.25),
+    (_alias_order_stmt, 0.10),
+    (_distinct_stmt, 0.08),
+    (_global_agg_stmt, 0.15),
+    (_group_agg_stmt, 0.17),
+    (_pipeline_group_stmt, 0.10),
+    (_builtin_stmt, 0.08),
+    (_join_stmt, 0.07),
 ]
 
 

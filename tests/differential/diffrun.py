@@ -12,7 +12,12 @@ plus the miniduck oracle.
    expression kernels): compiled execution must be bitwise-indistinguishable
    from the interpreter at every shard count. These legs are skipped when
    ``REPRO_COMPILE_EXPRS=0`` (the CI matrix runs both settings);
-5. the ``baselines.miniduck`` oracle — compared after order normalisation
+5.–7. ``compile_pipelines=True`` at shards 1, 3 and 4 (whole-pipeline
+   codegen with sharded grouped-aggregate partials, PR 8): the fused
+   callables must also be bitwise-indistinguishable from the serial
+   interpreter. Skipped when ``REPRO_COMPILE_PIPELINES=0`` (or when the
+   kernel legs are off — fusion builds on the expression kernels);
+8. the ``baselines.miniduck`` oracle — compared after order normalisation
    on the statement's exact-typed key columns, NaN-aware, with the float
    tolerance documented in ``ALLOWLIST``.
 
@@ -53,17 +58,35 @@ from repro.baselines.miniduck import MiniDuck  # noqa: E402
 from repro.core.session import Session  # noqa: E402
 from repro.errors import TdpError  # noqa: E402
 
-SERIAL_CONFIG = {"compile_exprs": False}
-SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2, "compile_exprs": False}
-KERNEL_CONFIG = {"compile_exprs": True}
+SERIAL_CONFIG = {"compile_exprs": False, "compile_pipelines": False}
+SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2, "compile_exprs": False,
+                "compile_pipelines": False}
+KERNEL_CONFIG = {"compile_exprs": True, "compile_pipelines": False}
 KERNEL_SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2,
-                       "compile_exprs": True}
+                       "compile_exprs": True, "compile_pipelines": False}
+# Whole-pipeline codegen legs (PR 8): fused scan→filter→project[→aggregate]
+# callables, serial and sharded (including the odd shard count, which
+# exercises unequal grouped-partial splits).
+PIPELINE_CONFIGS = [
+    ("pipelines shards=1", {"compile_exprs": True, "compile_pipelines": True}),
+    ("pipelines shards=3", {"shards": 3, "parallel_min_rows": 2,
+                            "compile_exprs": True, "compile_pipelines": True}),
+    ("pipelines shards=4", {"shards": 4, "parallel_min_rows": 2,
+                            "compile_exprs": True, "compile_pipelines": True}),
+]
 FLOAT_RTOL = 1e-4
 FLOAT_ATOL = 1e-6
 
 
 def _kernel_legs_enabled() -> bool:
     return os.environ.get("REPRO_COMPILE_EXPRS", "1") != "0"
+
+
+def _pipeline_legs_enabled() -> bool:
+    # Pipeline fusion builds on the expression kernels: the legs only run
+    # when both knobs are on (CI runs a 0/1 matrix on each).
+    return (_kernel_legs_enabled()
+            and os.environ.get("REPRO_COMPILE_PIPELINES", "1") != "0")
 
 
 class Divergence(Exception):
@@ -184,8 +207,9 @@ def run_differential(seed: int, count: int = 120,
         duck.register(name, dict(data))
     statements = gen_statements(seed, count)
     kernel_legs = _kernel_legs_enabled()
+    pipeline_legs = _pipeline_legs_enabled()
     stats = {"statements": 0, "oracle_checked": 0, "oracle_skipped": 0,
-             "engine_only": 0, "kernel_checked": 0}
+             "engine_only": 0, "kernel_checked": 0, "pipeline_checked": 0}
     for case, stmt in enumerate(statements):
         if only_case is not None and case != only_case:
             continue
@@ -198,6 +222,8 @@ def run_differential(seed: int, count: int = 120,
             if kernel_legs:
                 legs += [("kernels shards=1", KERNEL_CONFIG),
                          ("kernels shards=4", KERNEL_SHARD_CONFIG)]
+            if pipeline_legs:
+                legs += PIPELINE_CONFIGS
             for label, extra in legs:
                 other = _engine_result(session, stmt.sql, extra)
                 detail = compare_engine_runs(serial, other, label)
@@ -205,6 +231,8 @@ def run_differential(seed: int, count: int = 120,
                     raise Divergence(seed, case, stmt, detail)
                 if "kernels" in label:
                     stats["kernel_checked"] += 1
+                elif "pipelines" in label:
+                    stats["pipeline_checked"] += 1
         except TdpError as exc:
             raise Divergence(seed, case, stmt,
                              f"engine rejected generated statement: {exc}")
