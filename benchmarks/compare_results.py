@@ -1,0 +1,166 @@
+"""CI perf-regression gate: BENCH_RESULTS.json vs the committed baseline.
+
+The benchmarks job produces ``BENCH_RESULTS.json`` (see ``run_all.py``);
+this script compares its *headline* metrics against
+``benchmarks/BENCH_BASELINE.json`` and fails the job when a metric falls
+outside its tolerance band. Only machine-independent headline numbers are
+baselined — speedup/recall/shed ratios and counts, never absolute wall
+times, which vary with the runner. A metric present in the baseline but
+absent from the results is reported as a SKIP, not a failure, so retired
+benches degrade loudly-but-green until the baseline is re-anchored.
+
+Baseline entry shape (per metric group, per key)::
+
+    "plan_cache": {
+        "warm_speedup": {"value": 5.0, "direction": "higher", "rtol": 0.25}
+    }
+
+``direction`` is which way is *better*: ``higher`` fails when the observed
+value drops below ``value * (1 - rtol)``; ``lower`` fails when it rises
+above ``value * (1 + rtol)``; ``equals`` requires an exact match (counts,
+booleans). ``rtol`` defaults to 0.25 — generous on purpose: the gate is
+for regressions that survive run_all's one retry, not for timer jitter.
+
+Re-baselining (after an intentional perf change)::
+
+    python benchmarks/run_all.py --scale 0.2 --output BENCH_RESULTS.json
+    python benchmarks/compare_results.py BENCH_RESULTS.json --rebaseline
+
+then review the ``BENCH_BASELINE.json`` diff and commit it with the change
+that moved the numbers. ``--rebaseline`` only refreshes ``value`` fields
+for metrics already in the baseline; adding or removing gated metrics is a
+hand edit so the reviewed diff states intent.
+
+Usage::
+
+    python benchmarks/compare_results.py BENCH_RESULTS.json
+    python benchmarks/compare_results.py BENCH_RESULTS.json --baseline PATH
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import os
+import sys
+from typing import List
+
+BASELINE_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "BENCH_BASELINE.json")
+_DIRECTIONS = ("higher", "lower", "equals")
+DEFAULT_RTOL = 0.25
+
+
+def _load(path: str):
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _band(value, direction: str, rtol: float) -> str:
+    if direction == "higher":
+        return f">= {value * (1 - rtol):.4g}"
+    if direction == "lower":
+        return f"<= {value * (1 + rtol):.4g}"
+    return f"== {value!r}"
+
+
+def _within(observed, value, direction: str, rtol: float) -> bool:
+    if direction == "equals":
+        return observed == value
+    if not isinstance(observed, numbers.Real) or isinstance(observed, bool):
+        return False
+    if direction == "higher":
+        return observed >= value * (1 - rtol)
+    return observed <= value * (1 + rtol)
+
+
+def compare(results: dict, baseline: dict) -> List[dict]:
+    """One row per baselined metric: {group, key, status, ...}."""
+    rows: List[dict] = []
+    metrics = results.get("metrics", {})
+    for group, keys in sorted(baseline.get("metrics", {}).items()):
+        observed_group = metrics.get(group)
+        for key, spec in sorted(keys.items()):
+            value = spec["value"]
+            direction = spec.get("direction", "higher")
+            if direction not in _DIRECTIONS:
+                raise ValueError(
+                    f"{group}.{key}: direction must be one of {_DIRECTIONS}, "
+                    f"got {direction!r}")
+            rtol = spec.get("rtol", DEFAULT_RTOL)
+            row = {"group": group, "key": key, "expected": value,
+                   "direction": direction,
+                   "band": _band(value, direction, rtol)}
+            if observed_group is None or key not in observed_group:
+                row.update(status="SKIP", observed=None)
+            else:
+                observed = observed_group[key]
+                ok = _within(observed, value, direction, rtol)
+                row.update(status="PASS" if ok else "FAIL", observed=observed)
+            rows.append(row)
+    return rows
+
+
+def rebaseline(results: dict, baseline: dict) -> int:
+    """Refresh ``value`` fields in-place from results; count updated."""
+    updated = 0
+    metrics = results.get("metrics", {})
+    for group, keys in baseline.get("metrics", {}).items():
+        for key, spec in keys.items():
+            observed = metrics.get(group, {}).get(key)
+            if observed is not None and observed != spec["value"]:
+                spec["value"] = observed
+                updated += 1
+    return updated
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("results", help="BENCH_RESULTS.json to check")
+    parser.add_argument("--baseline", default=BASELINE_PATH)
+    parser.add_argument("--rebaseline", action="store_true",
+                        help="rewrite baseline values from these results "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+    try:
+        results = _load(args.results)
+        baseline = _load(args.baseline)
+    except (OSError, ValueError) as exc:
+        sys.stderr.write(f"[compare_results] cannot load inputs: {exc}\n")
+        return 2
+
+    if args.rebaseline:
+        updated = rebaseline(results, baseline)
+        with open(args.baseline, "w") as handle:
+            json.dump(baseline, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"[compare_results] re-baselined {updated} value(s) into "
+              f"{args.baseline}; review the diff before committing")
+        return 0
+
+    rows = compare(results, baseline)
+    width = max((len(f"{r['group']}.{r['key']}") for r in rows), default=10)
+    for row in rows:
+        name = f"{row['group']}.{row['key']}"
+        observed = "absent" if row["observed"] is None else row["observed"]
+        print(f"[compare_results] {row['status']:4} {name:<{width}}  "
+              f"observed={observed}  band={row['band']}")
+    failed = [r for r in rows if r["status"] == "FAIL"]
+    skipped = [r for r in rows if r["status"] == "SKIP"]
+    print(f"[compare_results] {len(rows) - len(failed) - len(skipped)} passed, "
+          f"{len(failed)} failed, {len(skipped)} skipped "
+          f"(skips = metric absent from results)")
+    if failed:
+        for row in failed:
+            sys.stderr.write(
+                f"[compare_results] REGRESSION {row['group']}.{row['key']}: "
+                f"observed {row['observed']}, required {row['band']} "
+                f"(baseline {row['expected']}); if intentional, re-baseline "
+                f"per the module docstring\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,10 +43,41 @@ the win in concurrent AI-database serving comes from scheduling inference
   default so concurrent serving stays bit-identical with serialized
   execution.
 
+* **Admission control** — the serving front door (``Session.aquery``,
+  ``core/server.py``) cannot let an overloaded queue grow without bound:
+  unbounded queueing turns a 2x overload into unbounded p99 (every request
+  waits behind the whole backlog). ``max_queue_depth`` caps the number of
+  *queued* (not yet running) requests; beyond it the scheduler sheds load
+  with a typed :class:`~repro.errors.ServerOverloaded` — either the new
+  request (``shed_policy="reject"``) or the oldest queued request of the
+  lowest priority class (``shed_policy="oldest"``). A request carrying a
+  ``deadline`` hint is also shed at admission when the observed
+  ``scheduler.queue_wait_seconds`` p95 already exceeds its budget, and
+  dropped (``QueryDeadlineExceeded``) at dequeue if its budget lapsed while
+  it waited — running a query whose client already timed out only steals
+  capacity from requests that can still meet their SLO.
+
+* **Per-client fairness + priority** — the queue is not FIFO across
+  requests: it is round-robin across *clients* within a priority class
+  (one greedy client submitting 100 statements cannot starve a client
+  submitting 1), and strict across classes (``extra_config={"priority":
+  N}``; higher dequeues first, so an interactive request overtakes a bulk
+  backlog without preempting running work).
+
+* **Adaptive batch window** — ``batch_window="auto"`` (the default) sizes
+  the batcher's flush window from an EMA of encode-request inter-arrival
+  times instead of the historical fixed 2 ms: busy convoys shrink the
+  window toward the arrival period (less added latency), sparse traffic
+  keeps a wider net. The chosen window is published as the
+  ``batcher.window_seconds`` gauge in ``Session.metrics``.
+
 Locking rules (engine-wide ordering, see ROADMAP "Concurrent serving"):
 scheduler lock and batcher condition are leaves — no engine lock is
 acquired while holding them, and the batcher computes forwards *outside*
 its condition so waiting threads only block on the GIL-released numpy work.
+Future callbacks (``set_result``/``set_exception``) always fire outside the
+scheduler lock: an ``asyncio.wrap_future`` callback or user callback may
+re-enter ``submit``.
 """
 
 from __future__ import annotations
@@ -55,13 +86,14 @@ import contextlib
 import contextvars
 import threading
 import time
+from collections import OrderedDict, deque
 from concurrent.futures import Future
-from queue import SimpleQueue
 from typing import List, Mapping, Optional, Sequence
 
 from repro.core import tensor_cache as tc
 from repro.core.config import QueryConfig
-from repro.core.telemetry import span, tracing
+from repro.core.telemetry import Ewma, span, tracing
+from repro.errors import QueryDeadlineExceeded, ServerOverloaded
 from repro.tcr import ops
 from repro.tcr.device import as_device
 
@@ -104,6 +136,18 @@ class _EncodeRequest:
         self.exc = None
 
 
+# Adaptive-window clamp (seconds) and shaping for ``window="auto"``: the
+# flush deadline follows a few average inter-arrival gaps, so a convoy's
+# next request reliably lands inside the window while a lone query's
+# worst-case added latency stays bounded by AUTO_WINDOW_MAX.
+AUTO_WINDOW_SEED = 0.002      # until enough arrivals are observed
+AUTO_WINDOW_MIN = 0.0005
+AUTO_WINDOW_MAX = 0.008
+AUTO_WINDOW_GAPS = 4.0        # window covers ~this many average gaps
+_AUTO_MIN_SAMPLES = 4         # EMA warm-up before the window moves
+_AUTO_IDLE_GAP = 1.0          # gaps above this mean "no load", not "slow"
+
+
 class InferenceBatcher:
     """Coalesce concurrent queries' encoder micro-batches for the same
     (model, device) into one forward pass.
@@ -113,10 +157,20 @@ class InferenceBatcher:
     here (nothing new can arrive until someone is released) or when the
     batch window lapses — so a lone query pays zero added latency, while N
     lockstep queries pay one forward per distinct micro-batch.
+
+    ``window`` is either a fixed number of seconds or ``"auto"``: size the
+    window from the observed encode-request arrival rate (EMA of
+    inter-arrival times, clamped to [AUTO_WINDOW_MIN, AUTO_WINDOW_MAX]).
     """
 
-    def __init__(self, window: float = 0.002, fuse: bool = False, session=None):
-        self.window = float(window)
+    def __init__(self, window=0.002, fuse: bool = False, session=None):
+        self.auto_window = window == "auto"
+        self.window = AUTO_WINDOW_SEED if self.auto_window else float(window)
+        # Arrival-rate tracking for the adaptive window. _window_lock is a
+        # leaf (never held while taking the condition or any engine lock).
+        self._window_lock = threading.Lock()
+        self._arrivals = Ewma("batcher.interarrival_seconds")
+        self._last_arrival: Optional[float] = None
         self.fuse = bool(fuse)
         # The owning session, for mirroring lifetime counters into its
         # MetricsRegistry (read dynamically: Session.reset swaps registries).
@@ -168,9 +222,35 @@ class InferenceBatcher:
     def _metrics(self):
         return self._session.metrics if self._session is not None else None
 
+    def _observe_arrival(self) -> None:
+        """Fold one encode-request arrival into the adaptive window."""
+        now = time.monotonic()
+        with self._window_lock:
+            last = self._last_arrival
+            self._last_arrival = now
+            if last is None:
+                return
+            gap = now - last
+            if gap > _AUTO_IDLE_GAP:
+                # An idle stretch says nothing about the next convoy's
+                # arrival rate; restart the gap chain without polluting
+                # the EMA.
+                return
+            average = self._arrivals.observe(gap)
+            if self._arrivals.count < _AUTO_MIN_SAMPLES:
+                return
+            window = min(max(average * AUTO_WINDOW_GAPS, AUTO_WINDOW_MIN),
+                         AUTO_WINDOW_MAX)
+            self.window = window
+        metrics = self._metrics
+        if metrics is not None:
+            metrics.gauge("batcher.window_seconds").set(window)
+
     def encode(self, model, orig, images, tag, token, fp, cache):
         """Serve one encoder micro-batch, coalescing with concurrent
         identical requests (and optionally fusing distinct ones)."""
+        if self.auto_window:
+            self._observe_arrival()
         if not tracing():
             return self._encode(model, orig, images, tag, token, fp, cache)
         rows = images.shape[0] if images.ndim else 1
@@ -335,14 +415,18 @@ class InferenceBatcher:
                 "forwards": self.forwards,
                 "fused_forwards": self.fused_forwards,
                 "fused_requests": self.fused_requests,
+                "window_seconds": self.window,
+                "auto_window": self.auto_window,
             }
 
 
 class _Job:
     __slots__ = ("statement", "device", "extra_config", "toPandas", "future",
-                 "key", "stamp", "followers", "submitted")
+                 "key", "stamp", "followers", "submitted", "client",
+                 "priority", "deadline")
 
-    def __init__(self, statement, device, extra_config, toPandas, future, key):
+    def __init__(self, statement, device, extra_config, toPandas, future, key,
+                 client=None, priority=0, deadline=None):
         self.statement = statement
         self.device = device
         self.extra_config = extra_config
@@ -352,9 +436,14 @@ class _Job:
         self.stamp = None
         self.followers: List[Future] = []
         self.submitted = time.monotonic()
+        self.client = client
+        self.priority = priority
+        self.deadline = deadline
 
 
-_STOP = object()
+# Minimum queue-wait observations before the histogram's p95 is trusted for
+# deadline-aware admission (a handful of samples predicts nothing).
+_PREDICT_MIN_SAMPLES = 16
 
 
 class QueryScheduler:
@@ -365,23 +454,42 @@ class QueryScheduler:
     → ``CompiledQuery.run`` path (plan cache, tensor cache, locks), so a
     scheduled statement's result is the result serialized execution would
     produce.
+
+    The ready queue is priority-strict and client-fair: jobs dequeue from
+    the highest priority class first, round-robin across the clients inside
+    it. ``max_queue_depth`` bounds the queued backlog; over it, admission
+    sheds load according to ``shed_policy`` (see the module docstring).
     """
 
     def __init__(self, session, workers: int = 4, coalesce: bool = True,
                  batch_inference: bool = True, fuse_batches: bool = False,
-                 batch_window: float = 0.002):
+                 batch_window="auto", max_queue_depth: Optional[int] = None,
+                 shed_policy: str = "reject"):
         self.session = session
         self.workers = max(1, int(workers))
         self.coalesce = bool(coalesce)
+        self.max_queue_depth = (None if max_queue_depth is None
+                                else max(1, int(max_queue_depth)))
+        if shed_policy not in ("reject", "oldest"):
+            raise ValueError(
+                f"shed_policy must be 'reject' or 'oldest', got {shed_policy!r}")
+        self.shed_policy = shed_policy
         self.batcher = (InferenceBatcher(window=batch_window, fuse=fuse_batches,
                                          session=session)
                         if batch_inference else None)
-        self._queue: SimpleQueue = SimpleQueue()
         self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        # priority -> OrderedDict[client, deque[_Job]]; dict order inside a
+        # priority class is the round-robin rotation.
+        self._queues: dict = {}
+        self._depth = 0
         self._inflight: dict = {}
         self.closed = False
         self.executed = 0
         self.coalesced = 0
+        self.admitted = 0
+        self.shed = 0
+        self.deadline_missed = 0
         self._threads = [
             threading.Thread(target=self._worker, daemon=True,
                              name=f"tdp-serve-{i}")
@@ -395,8 +503,19 @@ class QueryScheduler:
     # ------------------------------------------------------------------
     def submit(self, statement: str, device: str = "cpu",
                extra_config: Optional[Mapping[str, object]] = None,
-               toPandas: bool = False) -> Future:
+               toPandas: bool = False, client: Optional[str] = None) -> Future:
+        """Admit one statement into the ready queue.
+
+        ``client`` labels the submitting stream for round-robin fairness
+        (``None`` pools into one shared anonymous stream). Raises
+        :class:`ServerOverloaded` when admission control sheds the request;
+        a queued request displaced later (``shed_policy="oldest"``) or
+        expiring in the queue (``deadline``) receives the typed exception
+        through its future instead.
+        """
         config = QueryConfig(extra_config)   # validate at submission time
+        priority = config.priority
+        deadline = config.deadline
         key = None
         # toPandas results are mutable DataFrames a client may edit in
         # place: those never coalesce (each caller gets its own run), so
@@ -405,22 +524,65 @@ class QueryScheduler:
                 and not _ddl_statement(statement):
             key = (statement, str(as_device(device)), config.fingerprint())
         future: Future = Future()
-        # Enqueue under the lock: shutdown() flips `closed` and appends the
-        # stop sentinels under the same lock, so a job can never land behind
-        # the sentinels with its future left to hang forever.
+        job = _Job(statement, device, extra_config, toPandas, future, key,
+                   client=client, priority=priority, deadline=deadline)
+        metrics = self.session.metrics
+        # Deadline-aware admission reads the queue-wait histogram *before*
+        # taking the scheduler lock (the estimate may be a submission stale;
+        # admission is a heuristic, the dequeue-time check is the backstop).
+        predicted_wait = None
+        if deadline is not None:
+            hist = metrics.histogram("scheduler.queue_wait_seconds")
+            if hist.count >= _PREDICT_MIN_SAMPLES:
+                predicted_wait = hist.quantile(0.95)
+        shed_reason = None
+        victim: Optional[_Job] = None
         with self._lock:
             if self.closed:
                 raise RuntimeError("scheduler is shut down")
-            self._queue.put(_Job(statement, device, extra_config, toPandas,
-                                 future, key))
+            if deadline is not None and predicted_wait is not None \
+                    and self._depth >= self.workers \
+                    and predicted_wait > deadline:
+                shed_reason = "predicted_wait"
+            elif self.max_queue_depth is not None \
+                    and self._depth >= self.max_queue_depth:
+                if self.shed_policy == "oldest":
+                    victim = self._evict_oldest_locked(priority)
+                if victim is None:
+                    shed_reason = "queue_full"
+            if shed_reason is not None:
+                self.shed += 1
+            else:
+                self._enqueue_locked(job)
+                self.admitted += 1
+                self._ready.notify()
+        # Future callbacks and metric increments happen outside the lock.
+        if victim is not None:
+            metrics.counter("scheduler.shed").inc()
+            victim.future.set_exception(ServerOverloaded(
+                f"request displaced from the queue by a newer submission "
+                f"(shed_policy='oldest', max_queue_depth="
+                f"{self.max_queue_depth})", reason="displaced"))
+        if shed_reason is not None:
+            metrics.counter("scheduler.shed").inc()
+            if shed_reason == "predicted_wait":
+                raise ServerOverloaded(
+                    f"observed queue wait p95 ({predicted_wait:.3f}s) exceeds "
+                    f"the request deadline ({deadline:.3f}s)",
+                    reason=shed_reason)
+            raise ServerOverloaded(
+                f"ready queue is full ({self.max_queue_depth} queued "
+                f"requests)", reason=shed_reason)
+        metrics.counter("scheduler.admitted").inc()
         return future
 
     def map(self, statements: Sequence[str], device: str = "cpu",
             extra_config: Optional[Mapping[str, object]] = None,
-            toPandas: bool = False) -> List[object]:
+            toPandas: bool = False, client: Optional[str] = None) -> List[object]:
         """Submit a batch and collect results in submission order."""
         futures = [self.submit(s, device=device, extra_config=extra_config,
-                               toPandas=toPandas) for s in statements]
+                               toPandas=toPandas, client=client)
+                   for s in statements]
         return [f.result() for f in futures]
 
     def shutdown(self, wait: bool = True) -> None:
@@ -428,11 +590,17 @@ class QueryScheduler:
             if self.closed:
                 return
             self.closed = True
-            for _ in self._threads:
-                self._queue.put(_STOP)
+            # Workers drain the remaining backlog, then exit on empty.
+            self._ready.notify_all()
         if wait:
             for thread in self._threads:
                 thread.join()
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of admitted jobs not yet picked up by a worker."""
+        with self._lock:
+            return self._depth
 
     @property
     def stats(self) -> dict:
@@ -441,10 +609,69 @@ class QueryScheduler:
         # stat-tear class PR 4 fixed in the caches.
         with self._lock:
             out = {"executed": self.executed, "coalesced": self.coalesced,
-                   "workers": self.workers}
+                   "workers": self.workers, "depth": self._depth,
+                   "admitted": self.admitted, "shed": self.shed,
+                   "deadline_missed": self.deadline_missed}
         if self.batcher is not None:
             out["batcher"] = self.batcher.stats
         return out
+
+    # ------------------------------------------------------------------
+    # Ready queue (all helpers hold self._lock)
+    # ------------------------------------------------------------------
+    def _enqueue_locked(self, job: _Job) -> None:
+        clients = self._queues.setdefault(job.priority, OrderedDict())
+        queue = clients.get(job.client)
+        if queue is None:
+            queue = clients[job.client] = deque()
+        queue.append(job)
+        self._depth += 1
+
+    def _dequeue_locked(self) -> Optional[_Job]:
+        """Highest priority class first; round-robin across its clients."""
+        while True:
+            if self._depth:
+                priority = max(self._queues)
+                clients = self._queues[priority]
+                client = next(iter(clients))
+                queue = clients[client]
+                job = queue.popleft()
+                # Rotate the client to the back of its class: the next
+                # dequeue at this priority serves a different client.
+                clients.move_to_end(client)
+                if not queue:
+                    del clients[client]
+                if not clients:
+                    del self._queues[priority]
+                self._depth -= 1
+                return job
+            if self.closed:
+                return None
+            self._ready.wait()
+
+    def _evict_oldest_locked(self, new_priority: int) -> Optional[_Job]:
+        """Displace the oldest queued job of the lowest priority class.
+
+        Returns ``None`` (caller rejects the *new* request instead) when
+        everything queued outranks the incoming priority — load shedding
+        must never displace higher-priority work for lower.
+        """
+        if not self._depth:
+            return None
+        lowest = min(self._queues)
+        if lowest > new_priority:
+            return None
+        clients = self._queues[lowest]
+        # Deques are FIFO per client, so each head is that client's oldest.
+        client = min(clients, key=lambda c: clients[c][0].submitted)
+        queue = clients[client]
+        job = queue.popleft()
+        if not queue:
+            del clients[client]
+        if not clients:
+            del self._queues[lowest]
+        self._depth -= 1
+        return job
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -456,8 +683,9 @@ class QueryScheduler:
 
     def _worker(self) -> None:
         while True:
-            job = self._queue.get()
-            if job is _STOP:
+            with self._lock:
+                job = self._dequeue_locked()
+            if job is None:
                 return
             self._run_job(job)
 
@@ -468,8 +696,17 @@ class QueryScheduler:
         # Every dequeued job observes queue wait (coalesced ones included):
         # the histogram's count equals total jobs dequeued, which the
         # admission-control consumer reads against executed + coalesced.
-        metrics.histogram("scheduler.queue_wait_seconds").observe(
-            time.monotonic() - job.submitted)
+        waited = time.monotonic() - job.submitted
+        metrics.histogram("scheduler.queue_wait_seconds").observe(waited)
+        if job.deadline is not None and waited > job.deadline:
+            # The budget lapsed in the queue: drop rather than execute.
+            with self._lock:
+                self.deadline_missed += 1
+            metrics.counter("scheduler.deadline_missed").inc()
+            job.future.set_exception(QueryDeadlineExceeded(
+                f"queued for {waited:.3f}s, past the {job.deadline:.3f}s "
+                f"deadline"))
+            return
         if job.key is not None:
             with self._lock:
                 leader = self._inflight.get(job.key)

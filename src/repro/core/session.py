@@ -307,9 +307,28 @@ class Session:
     # ------------------------------------------------------------------
     # Concurrent serving (the PR 4 scheduler subsystem)
     # ------------------------------------------------------------------
+    def scheduler(self, extra_config: Optional[Mapping[str, object]] = None):
+        """The session's shared worker pool, created lazily on first use.
+
+        The creating call's serving knobs (``scheduler_workers``,
+        ``batch_window``, ``max_queue_depth``, ``shed_policy``) configure
+        the pool; later calls reuse it as-is. Per-request knobs
+        (``priority``, ``deadline``) keep applying per submission.
+        """
+        from repro.core.scheduler import QueryScheduler
+        with self._scheduler_lock:
+            if self._scheduler is None or self._scheduler.closed:
+                config = QueryConfig(extra_config)
+                self._scheduler = QueryScheduler(
+                    self, workers=config.scheduler_workers or 4,
+                    batch_window=config.batch_window,
+                    max_queue_depth=config.max_queue_depth,
+                    shed_policy=config.shed_policy)
+            return self._scheduler
+
     def submit(self, statement: str, device: str = "cpu",
                extra_config: Optional[Mapping[str, object]] = None,
-               toPandas: bool = False):
+               toPandas: bool = False, client: Optional[str] = None):
         """Submit one statement to the session's worker pool.
 
         Returns a ``concurrent.futures.Future`` resolving to the same value
@@ -318,14 +337,49 @@ class Session:
         in-flight statements coalesce into one execution and concurrent
         queries' encoder micro-batches are served by the pool's inference
         batcher (see :mod:`repro.core.scheduler`).
+
+        ``client`` labels the submitting stream for the scheduler's
+        round-robin fairness; admission control may raise
+        :class:`~repro.errors.ServerOverloaded` instead of queueing.
         """
-        from repro.core.scheduler import QueryScheduler
-        with self._scheduler_lock:
-            if self._scheduler is None or self._scheduler.closed:
-                self._scheduler = QueryScheduler(self)
-            scheduler = self._scheduler
-        return scheduler.submit(statement, device=device,
-                                extra_config=extra_config, toPandas=toPandas)
+        return self.scheduler(extra_config).submit(
+            statement, device=device, extra_config=extra_config,
+            toPandas=toPandas, client=client)
+
+    async def aquery(self, statement: str, device: str = "cpu",
+                     extra_config: Optional[Mapping[str, object]] = None,
+                     toPandas: bool = False, client: Optional[str] = None):
+        """``await``-able ``query(...).run(...)`` over the worker pool.
+
+        Bridges the scheduler's ``concurrent.futures.Future`` onto the
+        running event loop without blocking it, so an asyncio server can
+        keep thousands of requests in flight over a bounded thread pool.
+        Results are identical to the synchronous path — same plan cache,
+        tensor cache and locks (``tests/core/test_serving.py`` pins result
+        identity against ``query().run()``).
+        """
+        import asyncio
+        future = self.submit(statement, device=device,
+                             extra_config=extra_config, toPandas=toPandas,
+                             client=client)
+        return await asyncio.wrap_future(future)
+
+    async def aserve(self, statements: Sequence[str], device: str = "cpu",
+                     extra_config: Optional[Mapping[str, object]] = None,
+                     toPandas: bool = False,
+                     client: Optional[str] = None) -> List[object]:
+        """Run a batch of statements concurrently from async code.
+
+        All statements are submitted to the shared pool at once (fanning
+        into coalescing and inference batching) and gathered in submission
+        order; the first failure re-raises after all complete.
+        """
+        import asyncio
+        return list(await asyncio.gather(*[
+            self.aquery(s, device=device, extra_config=extra_config,
+                        toPandas=toPandas, client=client)
+            for s in statements
+        ]))
 
     def serve(self, statements: Sequence[str], workers: int = 4,
               device: str = "cpu",
@@ -341,8 +395,12 @@ class Session:
         preserve each statement's results.
         """
         from repro.core.scheduler import QueryScheduler
+        config = QueryConfig(extra_config)
         scheduler = QueryScheduler(self, workers=workers, coalesce=coalesce,
-                                   batch_inference=batch_inference)
+                                   batch_inference=batch_inference,
+                                   batch_window=config.batch_window,
+                                   max_queue_depth=config.max_queue_depth,
+                                   shed_policy=config.shed_policy)
         try:
             futures = [scheduler.submit(s, device=device,
                                         extra_config=extra_config,

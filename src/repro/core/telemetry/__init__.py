@@ -20,6 +20,7 @@ a query's result, and the disabled path must cost ~nothing (see
 
 from repro.core.telemetry.metrics import (
     Counter,
+    Ewma,
     Gauge,
     Histogram,
     MetricsRegistry,
@@ -37,7 +38,7 @@ from repro.core.telemetry.spans import (
 )
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "MetricsRegistry", "SlowQueryLog",
+    "Counter", "Ewma", "Gauge", "Histogram", "MetricsRegistry", "SlowQueryLog",
     "NULL_SPAN", "QueryTrace", "Span", "annotate", "count", "current_trace",
     "span", "tracing",
 ]

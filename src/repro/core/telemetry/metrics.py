@@ -86,6 +86,47 @@ class Gauge:
             return self._value
 
 
+class Ewma:
+    """Exponentially-weighted moving average of a sampled quantity.
+
+    The serving layer uses it for encode-request inter-arrival times: the
+    adaptive inference-batch window follows the observed arrival rate
+    instead of a fixed 2 ms (``batch_window="auto"``). ``alpha`` is the
+    weight of each new sample; the first sample seeds the average directly.
+    """
+
+    __slots__ = ("name", "alpha", "_value", "_count", "_lock")
+
+    def __init__(self, name: str, alpha: float = 0.2):
+        if not (0.0 < alpha <= 1.0):
+            raise ValueError(f"alpha must be in (0, 1], got {alpha!r}")
+        self.name = name
+        self.alpha = float(alpha)
+        self._value = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, sample: float) -> float:
+        """Fold one sample in; returns the updated average."""
+        with self._lock:
+            if self._count == 0:
+                self._value = float(sample)
+            else:
+                self._value += self.alpha * (float(sample) - self._value)
+            self._count += 1
+            return self._value
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+
 class Histogram:
     """Fixed-bucket histogram; same-boundary histograms merge exactly.
 

@@ -53,3 +53,32 @@ class UdfError(TdpError):
 
 class ExecutionError(TdpError):
     """Raised when a compiled query fails at run time."""
+
+
+class SchedulingError(TdpError):
+    """Base class for serving/admission failures (see repro.core.scheduler)."""
+
+
+class ServerOverloaded(SchedulingError):
+    """The request was shed by admission control.
+
+    Raised synchronously by ``QueryScheduler.submit`` (and therefore by
+    ``Session.submit``/``aquery``) when the queue-depth cap is reached under
+    ``shed_policy="reject"``, or when the observed queue wait already
+    exceeds the request's ``deadline`` hint; set as the *future's* exception
+    when a queued request is displaced under ``shed_policy="oldest"``. The
+    network server maps it to an HTTP 503 with a typed JSON body.
+    """
+
+    def __init__(self, message: str, reason: str = "queue_full"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class QueryDeadlineExceeded(SchedulingError):
+    """The request's ``deadline`` hint lapsed while it waited in the queue.
+
+    Deadline-expired work is dropped at dequeue time instead of executed:
+    running a query whose client has already timed out only steals capacity
+    from requests that can still meet their SLO.
+    """
