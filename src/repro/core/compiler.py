@@ -74,6 +74,15 @@ class Compiler:
             # into partition drivers over the session's shard pool.
             from repro.core.operators.sharded import parallelize
             root = parallelize(root, self.config, self.shard_pool, ExecNode)
+        if self._exchanging:
+            # Exchange pass: hash-repartition key-equi joins and the grouped
+            # aggregates the sharded rewrite stayed away from (non-mergeable
+            # specs, aggregates above joins). Runs after parallelize so the
+            # sharded drivers keep their (cheaper) partial-merge shape.
+            from repro.core.operators.exchange import insert_exchanges
+            metrics = self.session.metrics if self.session is not None else None
+            root = insert_exchanges(root, self.config, self.shard_pool,
+                                    ExecNode, metrics)
         if self._pipelining:
             # Whole-pipeline codegen: fuse maximal breaker-free
             # scan→filter→project[→aggregate] subtrees into one compiled
@@ -181,6 +190,15 @@ class Compiler:
         # Trainable compilations keep the exact differentiable shape; a
         # shard count of 1 (the default) is serial execution by definition.
         return (self.config.parallel_scan and self.config.shards != 1
+                and not self.config.trainable)
+
+    @property
+    def _exchanging(self) -> bool:
+        # The exchange rewrite shares sharding's preconditions (a shard
+        # count to partition over, exact non-trainable execution) behind
+        # its own knob, which enters the plan-cache fingerprint like every
+        # other flag.
+        return (self.config.exchange and self.config.shards != 1
                 and not self.config.trainable)
 
     @property

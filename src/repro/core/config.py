@@ -28,6 +28,7 @@ class constants:
     PARALLEL_SCAN = "parallel_scan"        # enable the sharded-scan rewrite
     SHARDS = "shards"                      # shard count (1 = serial, 0 = auto)
     PARALLEL_MIN_ROWS = "parallel_min_rows"  # don't shard smaller inputs ("auto" adapts)
+    EXCHANGE = "exchange"                  # hash-repartition joins/grouped aggregates
     # Expression codegen (TQP-style kernel compilation).
     COMPILE_EXPRS = "compile_exprs"        # compile Filter/Project expression kernels
     COMPILE_PIPELINES = "compile_pipelines"  # fuse whole scan→filter→project→agg subtrees
@@ -58,6 +59,7 @@ _DEFAULTS = {
     constants.PARALLEL_SCAN: True,
     constants.SHARDS: 1,
     constants.PARALLEL_MIN_ROWS: 64,
+    constants.EXCHANGE: True,
     constants.COMPILE_EXPRS: True,
     constants.COMPILE_PIPELINES: True,
     constants.TELEMETRY: False,
@@ -187,6 +189,11 @@ class QueryConfig:
         resolved._values = dict(self._values)
         resolved._values[constants.PARALLEL_MIN_ROWS] = int(value)
         return resolved
+
+    @property
+    def exchange(self) -> bool:
+        """Hash-repartitioned joins and grouped aggregates (shards > 1)."""
+        return bool(self._values[constants.EXCHANGE])
 
     @property
     def compile_exprs(self) -> bool:

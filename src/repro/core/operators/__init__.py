@@ -10,6 +10,12 @@ from repro.core.operators.index_scan import (
     IndexScanExec,
     ShowIndexesExec,
 )
+from repro.core.operators.exchange import (
+    ExchangeGroupedAggregateExec,
+    HashPartitioner,
+    PartitionedJoinExec,
+    RangePartitioner,
+)
 from repro.core.operators.join import JoinExec, equi_join_indices
 from repro.core.operators.project import ProjectExec, TVFExec
 from repro.core.operators.scan import ScanExec, shared_scans
@@ -18,11 +24,12 @@ from repro.core.operators.soft_aggregate import SoftAggregateExec
 from repro.core.operators.sort import DistinctExec, LimitExec, SortExec, TopKExec
 
 __all__ = [
-    "CreateIndexExec", "DistinctExec", "DropIndexExec", "FilterExec",
-    "FusedFilterExec", "FusedFilterProjectExec", "HashAggregateExec",
-    "IndexScanExec", "JoinExec", "LimitExec", "Operator", "ProjectExec",
-    "Relation", "ScanExec", "ShardedAggregateExec", "ShardedScanExec",
-    "ShowIndexesExec", "SoftAggregateExec", "SoftFilterExec",
-    "SortAggregateExec", "SortExec", "TVFExec", "TopKExec",
-    "equi_join_indices", "shared_scans",
+    "CreateIndexExec", "DistinctExec", "DropIndexExec",
+    "ExchangeGroupedAggregateExec", "FilterExec", "FusedFilterExec",
+    "FusedFilterProjectExec", "HashAggregateExec", "HashPartitioner",
+    "IndexScanExec", "JoinExec", "LimitExec", "Operator",
+    "PartitionedJoinExec", "ProjectExec", "RangePartitioner", "Relation",
+    "ScanExec", "ShardedAggregateExec", "ShardedScanExec", "ShowIndexesExec",
+    "SoftAggregateExec", "SoftFilterExec", "SortAggregateExec", "SortExec",
+    "TVFExec", "TopKExec", "equi_join_indices", "shared_scans",
 ]

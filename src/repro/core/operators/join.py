@@ -87,11 +87,19 @@ def _combine_key_codes(left_codes: List[np.ndarray], right_codes: List[np.ndarra
 def _null_fill_column(column: Column, indices: np.ndarray, name: str) -> Column:
     """Gather with -1 → NULL-ish fill (NaN/0/"") for LEFT JOIN unmatched rows."""
     valid = indices >= 0
-    safe = np.where(valid, indices, 0)
-    gathered = column.take(safe)
-    if valid.all():
-        return gathered.rename(name)
-    data = gathered.tensor.detach().data.copy()
+    if column.num_rows == 0:
+        # Zero-row build side: every probe row is unmatched, and even the
+        # "safe" placeholder index 0 would be out of bounds — synthesize the
+        # fill directly from an empty gather's dtype/encoding.
+        gathered = column.take(np.zeros(0, dtype=np.int64))
+        empty = gathered.tensor.detach().data
+        data = np.zeros((len(indices),) + empty.shape[1:], dtype=empty.dtype)
+    else:
+        safe = np.where(valid, indices, 0)
+        gathered = column.take(safe)
+        if valid.all():
+            return gathered.rename(name)
+        data = gathered.tensor.detach().data.copy()
     if data.dtype.kind == "f":
         data[~valid] = np.nan
     else:
@@ -126,27 +134,43 @@ class JoinExec(Operator):
             li = np.repeat(np.arange(left.num_rows), right.num_rows)
             ri = np.tile(np.arange(right.num_rows), left.num_rows)
         else:
-            left_eval = ExpressionEvaluator(left)
-            right_eval = ExpressionEvaluator(right)
-            left_code_cols, right_code_cols = [], []
-            for lk, rk in zip(self.left_keys, self.right_keys):
-                lcol = left_eval.evaluate_column(lk)
-                rcol = right_eval.evaluate_column(rk)
-                lcodes, rcodes = _join_codes(lcol, rcol)
-                left_code_cols.append(lcodes)
-                right_code_cols.append(rcodes)
-            combined_left, combined_right = _combine_key_codes(left_code_cols,
-                                                               right_code_cols)
-            if self.kind == "RIGHT":
-                ri, li = equi_join_indices(combined_right, combined_left,
-                                           keep_unmatched_left=True)
-            else:
-                li, ri = equi_join_indices(combined_left, combined_right,
-                                           keep_unmatched_left=(self.kind == "LEFT"))
+            combined_left, combined_right = self._evaluate_key_codes(left, right)
+            li, ri = self._join_indices(combined_left, combined_right)
 
         if self.residual is not None:
             li, ri = self._apply_residual(left, right, li, ri)
         return Relation(self._gather(left, right, li, ri))
+
+    def _evaluate_key_codes(self, left: Table, right: Table
+                            ) -> Tuple[np.ndarray, np.ndarray]:
+        """Evaluate the key expressions and jointly factorise both sides.
+
+        The codes are comparable *across* sides (equal values share a code),
+        which is also what makes them a sound hash-partitioning key for the
+        exchange operator (see :mod:`repro.core.operators.exchange`).
+        """
+        left_eval = ExpressionEvaluator(left)
+        right_eval = ExpressionEvaluator(right)
+        left_code_cols, right_code_cols = [], []
+        for lk, rk in zip(self.left_keys, self.right_keys):
+            lcol = left_eval.evaluate_column(lk)
+            rcol = right_eval.evaluate_column(rk)
+            lcodes, rcodes = _join_codes(lcol, rcol)
+            left_code_cols.append(lcodes)
+            right_code_cols.append(rcodes)
+        return _combine_key_codes(left_code_cols, right_code_cols)
+
+    def _join_indices(self, combined_left: np.ndarray,
+                      combined_right: np.ndarray
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Serial sorted-lookup dispatch over pre-factorised key codes."""
+        if self.kind == "RIGHT":
+            ri, li = equi_join_indices(combined_right, combined_left,
+                                       keep_unmatched_left=True)
+        else:
+            li, ri = equi_join_indices(combined_left, combined_right,
+                                       keep_unmatched_left=(self.kind == "LEFT"))
+        return li, ri
 
     def _gather(self, left: Table, right: Table, li: np.ndarray,
                 ri: np.ndarray) -> Table:

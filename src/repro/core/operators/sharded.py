@@ -39,7 +39,7 @@ from repro.core.operators.aggregate import (
     spec_mergeable,
 )
 from repro.core.operators.base import Operator, Relation
-from repro.core.operators.filter import FilterExec
+from repro.core.operators.filter import FilterExec, SoftFilterExec
 from repro.core.operators.fused import FusedFilterExec, FusedFilterProjectExec
 from repro.core.operators.project import ProjectExec
 from repro.core.operators.scan import ScanExec, shard_slices
@@ -354,6 +354,20 @@ class ShardedGroupedAggregateExec(_ShardedBase):
 # ----------------------------------------------------------------------
 # The plan transform
 # ----------------------------------------------------------------------
+def tree_has_soft(node) -> bool:
+    """Does any operator in the tree produce or consume soft row weights?
+
+    Soft pipelines carry per-row weight tensors that the deterministic
+    stitch barrier cannot merge (``stitch_relations`` raises on them at
+    runtime); the parallelize/exchange rewrites consult this at plan time
+    so a weighted plan executes serially instead of erroring mid-flight.
+    """
+    from repro.core.operators.soft_aggregate import SoftAggregateExec
+    if isinstance(node.op, (SoftFilterExec, SoftAggregateExec)):
+        return True
+    return any(tree_has_soft(child) for child in node._children_nodes)
+
+
 def _match_chain(node) -> Optional[tuple]:
     """``(scan_op, [row-wise ops bottom-up])`` when ``node`` roots a
     shardable pipeline prefix, else None."""
@@ -379,6 +393,10 @@ def parallelize(root, config, pool, exec_node_cls):
     prefixes become sharded scans; everything else is rebuilt unchanged
     around the recursion.
     """
+    if tree_has_soft(root):
+        # Weighted/soft pipelines must never reach the stitch barrier (it
+        # raises on per-row weights at runtime): decline sharding entirely.
+        return root
     shards = config.shards
     min_rows = config.parallel_min_rows
 

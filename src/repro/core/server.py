@@ -44,6 +44,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -64,7 +65,10 @@ class _ClientState:
     def __init__(self, client_id: str):
         self.client_id = client_id
         self.next_query_id = 1
-        self.pending: Dict[int, object] = {}   # query_id -> Future
+        # query_id -> (Future, monotonic submit time). Entries leave when the
+        # result is delivered once — or when the TTL sweep evicts a result
+        # the client abandoned (see TdpServer._evict_stale).
+        self.pending: Dict[int, Tuple[object, float]] = {}
         self.submitted = 0
         self.completed = 0
 
@@ -105,12 +109,21 @@ class TdpServer:
     def __init__(self, session, host: str = "127.0.0.1", port: int = 0,
                  workers: int = 4, max_queue_depth: Optional[int] = 64,
                  shed_policy: str = "reject", batch_window="auto",
-                 default_device: str = "cpu"):
+                 default_device: str = "cpu",
+                 max_pending_per_client: int = 64,
+                 result_ttl_seconds: float = 300.0):
         from repro.core.scheduler import QueryScheduler
         self.session = session
         self.host = host
         self.port = port
         self.default_device = default_device
+        # /submit hygiene: a client that never polls its results must not
+        # grow an unbounded pending table (futures retain whole result
+        # sets). The cap sheds new submits with a typed 503; the TTL sweep
+        # reclaims results the client abandoned entirely.
+        self.max_pending_per_client = int(max_pending_per_client)
+        self.result_ttl_seconds = float(result_ttl_seconds)
+        self.results_evicted = 0
         self.scheduler = QueryScheduler(
             session, workers=workers, max_queue_depth=max_queue_depth,
             shed_policy=shed_policy, batch_window=batch_window)
@@ -244,7 +257,8 @@ class TdpServer:
             if method == "GET" and path == "/health":
                 return 200, {"status": "ok",
                              "queue_depth": self.scheduler.queue_depth,
-                             "clients": len(self._clients)}
+                             "clients": len(self._clients),
+                             "results_evicted": self.results_evicted}
             if path in ("/query", "/submit", "/explain", "/metrics", "/health"):
                 return 405, _error_body("MethodNotAllowed",
                                         f"{method} not allowed on {path}")
@@ -301,11 +315,38 @@ class TdpServer:
         state.completed += 1
         return 200, _result_payload(result)
 
+    def _evict_stale(self, state: _ClientState) -> None:
+        """Reclaim pending entries the client abandoned (older than the TTL).
+
+        Undelivered futures are cancelled (a no-op once running/done) so a
+        queued statement whose client walked away does not consume a worker.
+        """
+        if self.result_ttl_seconds <= 0 or not state.pending:
+            return
+        now = time.monotonic()
+        stale = [qid for qid, (_, born) in state.pending.items()
+                 if now - born > self.result_ttl_seconds]
+        for qid in stale:
+            future, _ = state.pending.pop(qid)
+            if not future.done():
+                future.cancel()
+            self.results_evicted += 1
+
     def _post_submit(self, body: bytes, client_id: str) -> Tuple[int, dict]:
+        state = self._client(client_id)
+        self._evict_stale(state)
+        if len(state.pending) >= self.max_pending_per_client:
+            # Shed before scheduler.submit: work a client cannot collect
+            # must never occupy the queue or a worker.
+            raise ServerOverloaded(
+                f"client {client_id!r} has {len(state.pending)} undelivered "
+                f"results (cap {self.max_pending_per_client}); poll "
+                f"GET /result/<id> before submitting more",
+                reason="too_many_pending")
         state, future = self._submit(body, client_id)
         query_id = state.next_query_id
         state.next_query_id += 1
-        state.pending[query_id] = future
+        state.pending[query_id] = (future, time.monotonic())
         return 202, {"query_id": query_id, "client": client_id}
 
     async def _get_result(self, path: str, client_id: str) -> Tuple[int, dict]:
@@ -314,11 +355,13 @@ class TdpServer:
         except ValueError:
             return 400, _error_body("BadRequest", f"bad result id in {path}")
         state = self._client(client_id)
-        future = state.pending.get(query_id)
-        if future is None:
+        self._evict_stale(state)
+        entry = state.pending.get(query_id)
+        if entry is None:
             return 404, _error_body(
                 "NotFound", f"no pending query {query_id} for this client "
                             f"(results are delivered once)")
+        future, _ = entry
         if not future.done():
             return 200, {"status": "pending", "query_id": query_id}
         del state.pending[query_id]

@@ -1,0 +1,280 @@
+"""Exchange operators: hash/range partitioning, partitioned joins,
+repartitioned grouped aggregates, and the plan-time soft decline."""
+
+import numpy as np
+import pytest
+
+from repro.core.operators.exchange import (
+    HashPartitioner,
+    RangePartitioner,
+    factorize_key_rows,
+    hash_partition_ids,
+    partition_indices,
+)
+from repro.core.session import Session
+
+
+def _assert_bitwise(result_a, result_b, context=""):
+    assert result_a.column_names == result_b.column_names, context
+    for name in result_a.column_names:
+        a = np.asarray(result_a.column(name))
+        b = np.asarray(result_b.column(name))
+        assert a.dtype == b.dtype, (context, name, a.dtype, b.dtype)
+        assert a.shape == b.shape, (context, name, a.shape, b.shape)
+        if a.dtype.kind == "f":
+            assert np.array_equal(a, b, equal_nan=True), (context, name)
+        else:
+            assert np.array_equal(a, b), (context, name)
+
+
+SERIAL = {"shards": 1}
+EXCHANGE = {"shards": 4, "parallel_min_rows": 2}
+NO_EXCHANGE = {"shards": 4, "parallel_min_rows": 2, "exchange": False}
+
+
+def _session(n=600, seed=7, dim_rows=23):
+    rng = np.random.default_rng(seed)
+    session = Session()
+    session.sql.register_dict({
+        "id": np.arange(n, dtype=np.int64),
+        "b": rng.integers(0, dim_rows + 8, n).astype(np.int64),
+        "k": rng.integers(0, 5, n).astype(np.int64),
+        "f": np.round(rng.normal(size=n), 3),
+        "g": np.where(rng.random(n) < 0.25, np.nan, rng.normal(size=n)),
+        "s": np.array([["alpha", "beta", "gamma", "delta"][i]
+                       for i in rng.integers(0, 4, n)], dtype=object),
+    }, "t")
+    session.sql.register_dict({
+        "b": np.arange(dim_rows, dtype=np.int64),
+        "k": (np.arange(dim_rows, dtype=np.int64) % 5),
+        "w": rng.integers(0, 50, dim_rows).astype(np.int64),
+        "label": np.array([["x", "y", "z"][i % 3] for i in range(dim_rows)],
+                          dtype=object),
+    }, "dim")
+    return session
+
+
+# ----------------------------------------------------------------------
+# Partition-function units
+# ----------------------------------------------------------------------
+class TestPartitionFunctions:
+    def test_hash_ids_are_stable_and_complete(self):
+        codes = np.array([3, 1, 3, 0, 2, 1, 3], dtype=np.int64)
+        ids_a = hash_partition_ids(codes, 4)
+        ids_b = hash_partition_ids(codes, 4)
+        assert np.array_equal(ids_a, ids_b)
+        assert ids_a.min() >= 0 and ids_a.max() < 4
+        # Equal codes route identically.
+        assert ids_a[0] == ids_a[2] == ids_a[6]
+        assert ids_a[1] == ids_a[5]
+
+    def test_partition_indices_preserve_row_order(self):
+        ids = np.array([1, 0, 1, 1, 0, 2], dtype=np.int64)
+        parts = partition_indices(ids, 3)
+        assert [p.tolist() for p in parts] == [[1, 4], [0, 2, 3], [5]]
+        # Every row appears exactly once.
+        assert sorted(np.concatenate(parts).tolist()) == list(range(6))
+
+    def test_hash_partitioner_covers_all_rows(self):
+        codes = np.arange(1000, dtype=np.int64) % 137
+        parts = HashPartitioner(8).partition(codes)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(1000))
+        for idx in parts:
+            assert np.all(np.diff(idx) > 0)   # ascending within partition
+
+    def test_factorize_collapses_nan_and_signed_zero(self):
+        values = np.array([np.nan, 1.0, np.nan, -0.0, 0.0, 1.0])
+        codes = factorize_key_rows([values])
+        assert codes[0] == codes[2]           # all NaNs share one code
+        assert codes[3] == codes[4]           # -0.0 == 0.0
+        assert codes[1] == codes[5]
+
+    def test_factorize_multi_key(self):
+        a = np.array([1, 1, 2, 1], dtype=np.int64)
+        b = np.array([5.0, np.nan, 5.0, 5.0])
+        codes = factorize_key_rows([a, b])
+        assert codes[0] == codes[3]
+        assert codes[0] != codes[1]
+        assert codes[0] != codes[2]
+
+    def test_range_partitioner_orders_rows(self):
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=500)
+        part = RangePartitioner.from_values(values, 4)
+        parts = part.partition(values)
+        assert sorted(np.concatenate(parts).tolist()) == list(range(500))
+        # Range contract: every value in partition i <= every value in i+1.
+        maxes = [values[idx].max() for idx in parts if len(idx)]
+        mins = [values[idx].min() for idx in parts if len(idx)]
+        for hi, lo in zip(maxes[:-1], mins[1:]):
+            assert hi <= lo
+
+    def test_range_partitioner_sends_nans_last(self):
+        values = np.array([1.0, np.nan, -2.0, np.nan, 5.0])
+        part = RangePartitioner.from_values(values, 3)
+        parts = part.partition(values)
+        last = parts[-1]
+        assert 1 in last and 3 in last
+
+
+# ----------------------------------------------------------------------
+# Partitioned joins
+# ----------------------------------------------------------------------
+class TestPartitionedJoin:
+    @pytest.mark.parametrize("kind", ["JOIN", "LEFT JOIN"])
+    def test_join_bit_identical(self, kind):
+        session = _session()
+        sql = (f"SELECT x.id, x.f, d.w, d.label FROM t x {kind} dim d "
+               f"ON x.b = d.b")
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        exchanged = session.sql.query(sql, extra_config=EXCHANGE).run()
+        _assert_bitwise(serial, exchanged, kind)
+
+    def test_multi_key_join_bit_identical(self):
+        session = _session()
+        sql = ("SELECT x.id, d.w FROM t x JOIN dim d "
+               "ON x.b = d.b AND x.k = d.k")
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        exchanged = session.sql.query(sql, extra_config=EXCHANGE).run()
+        _assert_bitwise(serial, exchanged)
+
+    def test_join_with_residual_and_filter(self):
+        session = _session()
+        sql = ("SELECT x.id, d.w FROM t x LEFT JOIN dim d "
+               "ON x.b = d.b AND d.w > 10 WHERE x.k < 4")
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        exchanged = session.sql.query(sql, extra_config=EXCHANGE).run()
+        _assert_bitwise(serial, exchanged)
+
+    def test_small_input_falls_back_serially(self):
+        session = _session(n=8)
+        sql = "SELECT x.id, d.w FROM t x JOIN dim d ON x.b = d.b"
+        big_min = {"shards": 4, "parallel_min_rows": 100000}
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        fallback = session.sql.query(sql, extra_config=big_min).run()
+        _assert_bitwise(serial, fallback)
+
+    def test_exchange_off_keeps_serial_join_plan(self):
+        session = _session()
+        sql = "EXPLAIN SELECT x.id, d.w FROM t x JOIN dim d ON x.b = d.b"
+        plan_on = "\n".join(
+            str(v) for v in np.asarray(
+                session.sql.query(sql, extra_config=EXCHANGE).run()
+                .column("plan")))
+        plan_off = "\n".join(
+            str(v) for v in np.asarray(
+                session.sql.query(sql, extra_config=NO_EXCHANGE).run()
+                .column("plan")))
+        assert "PartitionedJoin" in plan_on
+        assert "PartitionedJoin" not in plan_off
+
+    def test_exchange_metrics_recorded(self):
+        session = _session()
+        sql = "SELECT x.id, d.w FROM t x JOIN dim d ON x.b = d.b"
+        session.sql.query(sql, extra_config=EXCHANGE).run()
+        snapshot = session.metrics.snapshot()
+        assert snapshot["exchange.partitions"] >= 4
+        assert snapshot["exchange.rows_moved"] > 0
+        assert snapshot["exchange.skew"] >= 1.0
+
+    def test_plan_cache_distinguishes_exchange_knob(self):
+        session = _session()
+        sql = "SELECT x.id, d.w FROM t x JOIN dim d ON x.b = d.b"
+        session.sql.query(sql, extra_config=EXCHANGE).run()
+        session.sql.query(sql, extra_config=NO_EXCHANGE).run()
+        with_x = session.compile_query(sql, extra_config=EXCHANGE)
+        without_x = session.compile_query(sql, extra_config=NO_EXCHANGE)
+        assert with_x is not without_x
+
+
+# ----------------------------------------------------------------------
+# Repartitioned GROUP BY (non-mergeable aggregates)
+# ----------------------------------------------------------------------
+class TestExchangeGroupedAggregate:
+    @pytest.mark.parametrize("sql", [
+        "SELECT s, SUM(f) AS sf FROM t GROUP BY s",
+        "SELECT b, AVG(g) AS ag FROM t GROUP BY b",
+        "SELECT s, b, COUNT(DISTINCT k) AS cd FROM t GROUP BY s, b",
+        "SELECT g, COUNT(*) AS c, SUM(f) AS sf FROM t GROUP BY g",
+        "SELECT k, SUM(f * 2.0) AS sf FROM t WHERE b < 20 GROUP BY k",
+    ])
+    def test_grouped_bit_identical(self, sql):
+        session = _session()
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        exchanged = session.sql.query(sql, extra_config=EXCHANGE).run()
+        _assert_bitwise(serial, exchanged, sql)
+
+    def test_aggregate_above_join_bit_identical(self):
+        session = _session()
+        sql = ("SELECT d.label, SUM(x.f) AS sf, AVG(x.g) AS ag "
+               "FROM t x JOIN dim d ON x.b = d.b GROUP BY d.label")
+        serial = session.sql.query(sql, extra_config=SERIAL).run()
+        exchanged = session.sql.query(sql, extra_config=EXCHANGE).run()
+        _assert_bitwise(serial, exchanged)
+
+    def test_exchange_plan_annotated(self):
+        session = _session()
+        plan = session.sql.query(
+            "EXPLAIN SELECT s, SUM(f) AS sf FROM t GROUP BY s",
+            extra_config=EXCHANGE).run()
+        text = "\n".join(str(v) for v in np.asarray(plan.column("plan")))
+        assert "ExchangeGroupedAggregate(partitions=4)" in text
+
+    def test_mergeable_groups_keep_sharded_partials(self):
+        # Exact-mergeable grouped aggregates over a shardable chain still
+        # lower to the cheaper grouped-partial driver, not an exchange.
+        session = _session()
+        plan = session.sql.query(
+            "EXPLAIN SELECT b, COUNT(*) AS c FROM t GROUP BY b",
+            extra_config=EXCHANGE).run()
+        text = "\n".join(str(v) for v in np.asarray(plan.column("plan")))
+        assert "ShardedGroupedAggregate" in text
+        assert "ExchangeGroupedAggregate" not in text
+
+
+# ----------------------------------------------------------------------
+# Satellite: soft pipelines decline sharding/exchange at plan time
+# ----------------------------------------------------------------------
+def _soft_session(rows=64):
+    from repro.storage.encodings import PEEncoding
+    from repro.tcr import nn
+    from repro.tcr.tensor import Tensor
+
+    session = Session()
+    model = nn.Linear(2, 2)
+
+    @session.udf("Label float", name="classify", modules=[model])
+    def classify(x):
+        return PEEncoding.encode(model(x), domain=[0, 1])
+
+    rng = np.random.default_rng(0)
+    features = rng.normal(size=(rows, 2)).astype(np.float32)
+    session.sql.register_tensor(Tensor(features), "bag")
+    return session
+
+
+class TestSoftDecline:
+    SQL = "SELECT Label, COUNT(*) AS c FROM classify(bag) GROUP BY Label"
+
+    def test_soft_aggregate_under_shards_runs_and_matches_serial(self):
+        # Regression: a soft grouped aggregate compiled with shards > 1 must
+        # not reach the stitch barrier (which raises on soft row weights);
+        # the rewrites decline at plan time and execution stays serial.
+        session = _soft_session()
+        soft_serial = {"shards": 1, "groupby_impl": "soft"}
+        soft_sharded = {"shards": 4, "parallel_min_rows": 2,
+                        "groupby_impl": "soft"}
+        serial = session.sql.query(self.SQL, extra_config=soft_serial).run()
+        sharded = session.sql.query(self.SQL, extra_config=soft_sharded).run()
+        _assert_bitwise(serial, sharded)
+
+    def test_soft_plan_has_no_partition_drivers(self):
+        session = _soft_session()
+        plan = session.sql.query(
+            "EXPLAIN " + self.SQL,
+            extra_config={"shards": 4, "parallel_min_rows": 2,
+                          "groupby_impl": "soft"}).run()
+        text = "\n".join(str(v) for v in np.asarray(plan.column("plan")))
+        assert "SoftAggregate" in text
+        assert "Sharded" not in text
+        assert "Exchange" not in text

@@ -196,3 +196,32 @@ class TestDistinctLargeIntKeys:
             "SELECT DISTINCT a, s FROM t ORDER BY a, s").run(toPandas=True)
         want = sorted(set(zip(a.tolist(), s.tolist())))
         assert list(zip(out["a"].tolist(), out["s"].tolist())) == want
+
+
+class TestEmptyBuildSideOuterJoin:
+    def test_left_join_against_zero_row_table(self):
+        # Seed crashed in _null_fill_column: with a zero-row build side every
+        # probe row is unmatched and the "safe" placeholder index 0 gathered
+        # out of bounds.
+        session = Session()
+        session.sql.register_dict({"a": [1, 2, 3], "v": [10.0, 20.0, 30.0]}, "l")
+        session.sql.register_dict(
+            {"a": np.empty(0, dtype=np.int64),
+             "w": np.empty(0, dtype=np.float64),
+             "s": np.empty(0, dtype=object)}, "r")
+        out = session.spark.query(
+            "SELECT l.a, r.w, r.s FROM l LEFT JOIN r ON l.a = r.a ORDER BY l.a"
+        ).run(toPandas=True)
+        assert out["a"].tolist() == [1, 2, 3]
+        assert all(np.isnan(w) for w in out["w"])
+        assert out["s"].tolist() == ["", "", ""]
+
+    def test_inner_join_against_zero_row_table_is_empty(self):
+        session = Session()
+        session.sql.register_dict({"a": [1, 2, 3], "v": [10.0, 20.0, 30.0]}, "l")
+        session.sql.register_dict(
+            {"a": np.empty(0, dtype=np.int64),
+             "w": np.empty(0, dtype=np.float64)}, "r")
+        out = session.spark.query(
+            "SELECT l.a, r.w FROM l JOIN r ON l.a = r.a").run(toPandas=True)
+        assert len(out) == 0

@@ -463,3 +463,82 @@ class TestHttpServer:
                 await server.stop()
 
         asyncio.run(run())
+
+
+class TestPendingResultHygiene:
+    """Regression: undelivered /submit results must not accumulate forever
+    for clients that never poll (per-client cap + TTL eviction)."""
+
+    def test_pending_cap_returns_typed_503(self):
+        session = _numeric_session()
+
+        async def run():
+            server = TdpServer(session, port=0, workers=2,
+                               max_pending_per_client=3,
+                               result_ttl_seconds=300.0)
+            await server.start()
+            try:
+                for _ in range(3):
+                    status, _ = await _http(
+                        server.port, "POST", "/submit",
+                        {"statement": "SELECT COUNT(*) FROM t"}, client="c1")
+                    assert status == 202
+                status, payload = await _http(
+                    server.port, "POST", "/submit",
+                    {"statement": "SELECT COUNT(*) FROM t"}, client="c1")
+                assert status == 503
+                assert payload["error"]["type"] == "ServerOverloaded"
+                assert payload["error"]["reason"] == "too_many_pending"
+                # The cap is per client: a polite client is unaffected.
+                status, _ = await _http(
+                    server.port, "POST", "/submit",
+                    {"statement": "SELECT COUNT(*) FROM t"}, client="c2")
+                assert status == 202
+                # Draining one result frees the slot.
+                for _ in range(100):
+                    status, result = await _http(
+                        server.port, "GET", "/result/1", client="c1")
+                    if result.get("status") == "done":
+                        break
+                    await asyncio.sleep(0.02)
+                assert status == 200
+                status, _ = await _http(
+                    server.port, "POST", "/submit",
+                    {"statement": "SELECT COUNT(*) FROM t"}, client="c1")
+                assert status == 202
+            finally:
+                await server.stop()
+
+        asyncio.run(run())
+
+    def test_abandoned_results_are_ttl_evicted(self):
+        session = _numeric_session()
+
+        async def run():
+            server = TdpServer(session, port=0, workers=2,
+                               result_ttl_seconds=0.05)
+            await server.start()
+            try:
+                status, accepted = await _http(
+                    server.port, "POST", "/submit",
+                    {"statement": "SELECT COUNT(*) FROM t"}, client="c1")
+                assert status == 202
+                qid = accepted["query_id"]
+                # Wait for the result to materialize, then abandon it.
+                pending = server._clients["c1"].pending
+                for _ in range(100):
+                    if pending[qid][0].done():
+                        break
+                    await asyncio.sleep(0.02)
+                await asyncio.sleep(0.1)   # let the TTL lapse
+                status, payload = await _http(
+                    server.port, "GET", f"/result/{qid}", client="c1")
+                assert status == 404
+                assert server.results_evicted == 1
+                assert qid not in pending
+                status, health = await _http(server.port, "GET", "/health")
+                assert status == 200 and health["results_evicted"] == 1
+            finally:
+                await server.stop()
+
+        asyncio.run(run())

@@ -54,7 +54,8 @@ class DiffStatement:
 
 def gen_tables(seed: int) -> Dict[str, Dict[str, np.ndarray]]:
     """The seed's table set: a general table, a NaN-heavy one, an empty one,
-    a single-row one, and a pair of join tables sharing a key column."""
+    a single-row one, and three join dimensions — a clean one keyed on b, an
+    awkward one (duplicate/composite/NaN keys) and a zero-row one."""
     rng = np.random.default_rng(seed)
 
     def build(n: int, nan_rate: float = 0.1) -> Dict[str, np.ndarray]:
@@ -91,6 +92,24 @@ def gen_tables(seed: int) -> Dict[str, Dict[str, np.ndarray]]:
         "w": rng.integers(0, 50, dim_n).astype(np.int64),
         "label": np.array([VOCAB[i % len(VOCAB)] for i in range(dim_n)],
                           dtype=object),
+    }
+    # Awkward dimension table for multi-key joins: duplicate int keys (fan
+    # out), a string key, and a float key carrying NaNs.
+    dim2_n = 16
+    d2g = np.round(rng.normal(scale=2.0, size=dim2_n), 4)
+    d2g[rng.random(dim2_n) < 0.25] = np.nan
+    tables["dim2"] = {
+        "b": rng.integers(0, 10, dim2_n).astype(np.int64),
+        "s": np.array([VOCAB[i] for i in rng.integers(0, len(VOCAB), dim2_n)],
+                      dtype=object),
+        "g": d2g,
+        "w2": rng.integers(0, 100, dim2_n).astype(np.int64),
+    }
+    # Zero-row build side (joins against it must still type correctly).
+    tables["dim_empty"] = {
+        "b": np.empty(0, dtype=np.int64),
+        "w": np.empty(0, dtype=np.int64),
+        "label": np.empty(0, dtype=object),
     }
     return tables
 
@@ -359,15 +378,40 @@ def _join_stmt(r: random.Random) -> DiffStatement:
                          oracle=False)
 
 
+def _multikey_join_stmt(r: random.Random) -> DiffStatement:
+    """Engine-only: joins through the awkward key shapes the exchange legs
+    must keep bit-identical — composite keys, duplicate build keys that fan
+    rows out, float keys carrying NaNs, and empty build/probe sides."""
+    table = r.choice(["t0", "t1", "t_tiny", "t_one", "t_empty"])
+    kind = r.choice(["JOIN", "LEFT JOIN"])
+    roll = r.random()
+    if roll < 0.4:
+        dim, on, payload = "dim2", "x.b = d.b AND x.s = d.s", "d.w2"
+    elif roll < 0.6:
+        dim, on, payload = "dim2", "x.g = d.g", "d.w2"
+    elif roll < 0.8:
+        dim, on, payload = "dim2", "x.b = d.b", "d.w2"
+    else:
+        dim, on, payload = "dim_empty", "x.b = d.b", "d.w"
+    sql = f"SELECT x.id, x.b, {payload} FROM {table} x {kind} {dim} d ON {on}"
+    if r.random() < 0.4:
+        sql += f" WHERE x.a > {r.randint(-5, 10)}"
+    if r.random() < 0.3:
+        sql += " ORDER BY x.id"
+    return DiffStatement(sql, table, ["id"], ordered="ORDER BY" in sql,
+                         oracle=False)
+
+
 _SHAPES = [
-    (_projection_stmt, 0.25),
-    (_alias_order_stmt, 0.10),
+    (_projection_stmt, 0.23),
+    (_alias_order_stmt, 0.09),
     (_distinct_stmt, 0.08),
-    (_global_agg_stmt, 0.15),
-    (_group_agg_stmt, 0.17),
+    (_global_agg_stmt, 0.14),
+    (_group_agg_stmt, 0.16),
     (_pipeline_group_stmt, 0.10),
-    (_builtin_stmt, 0.08),
-    (_join_stmt, 0.07),
+    (_builtin_stmt, 0.07),
+    (_join_stmt, 0.06),
+    (_multikey_join_stmt, 0.07),
 ]
 
 

@@ -17,7 +17,11 @@ plus the miniduck oracle.
    callables must also be bitwise-indistinguishable from the serial
    interpreter. Skipped when ``REPRO_COMPILE_PIPELINES=0`` (or when the
    kernel legs are off — fusion builds on the expression kernels);
-8. the ``baselines.miniduck`` oracle — compared after order normalisation
+8. & 9. the exchange legs: the hash-repartitioned join/grouped-aggregate
+   drivers at shards=3 and the explicit ``exchange=False`` off-path at
+   shards=4 — both always run, while ``REPRO_EXCHANGE=0/1`` flips the knob
+   in the default sharded legs above (the CI matrix runs both settings);
+10. the ``baselines.miniduck`` oracle — compared after order normalisation
    on the statement's exact-typed key columns, NaN-aware, with the float
    tolerance documented in ``ALLOWLIST``.
 
@@ -58,21 +62,40 @@ from repro.baselines.miniduck import MiniDuck  # noqa: E402
 from repro.core.session import Session  # noqa: E402
 from repro.errors import TdpError  # noqa: E402
 
+# REPRO_EXCHANGE=0 turns the exchange rewrite (hash-repartitioned joins and
+# grouped aggregates) off in every sharded leg; CI runs a 0/1 matrix so both
+# sides of the knob keep full-stream coverage.
+_EXCHANGE_ON = os.environ.get("REPRO_EXCHANGE", "1") != "0"
+
 SERIAL_CONFIG = {"compile_exprs": False, "compile_pipelines": False}
 SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2, "compile_exprs": False,
-                "compile_pipelines": False}
+                "compile_pipelines": False, "exchange": _EXCHANGE_ON}
 KERNEL_CONFIG = {"compile_exprs": True, "compile_pipelines": False}
 KERNEL_SHARD_CONFIG = {"shards": 4, "parallel_min_rows": 2,
-                       "compile_exprs": True, "compile_pipelines": False}
+                       "compile_exprs": True, "compile_pipelines": False,
+                       "exchange": _EXCHANGE_ON}
 # Whole-pipeline codegen legs (PR 8): fused scan→filter→project[→aggregate]
 # callables, serial and sharded (including the odd shard count, which
 # exercises unequal grouped-partial splits).
 PIPELINE_CONFIGS = [
     ("pipelines shards=1", {"compile_exprs": True, "compile_pipelines": True}),
     ("pipelines shards=3", {"shards": 3, "parallel_min_rows": 2,
-                            "compile_exprs": True, "compile_pipelines": True}),
+                            "compile_exprs": True, "compile_pipelines": True,
+                            "exchange": _EXCHANGE_ON}),
     ("pipelines shards=4", {"shards": 4, "parallel_min_rows": 2,
-                            "compile_exprs": True, "compile_pipelines": True}),
+                            "compile_exprs": True, "compile_pipelines": True,
+                            "exchange": _EXCHANGE_ON}),
+]
+# Exchange legs: the repartitioned join/grouped-aggregate drivers at an odd
+# shard count, plus the explicit off-path — both must stay bitwise equal to
+# the serial interpreter regardless of how REPRO_EXCHANGE set the legs above.
+EXCHANGE_CONFIGS = [
+    ("exchange shards=3", {"shards": 3, "parallel_min_rows": 2,
+                           "compile_exprs": False, "compile_pipelines": False,
+                           "exchange": True}),
+    ("no-exchange shards=4", {"shards": 4, "parallel_min_rows": 2,
+                              "compile_exprs": False,
+                              "compile_pipelines": False, "exchange": False}),
 ]
 FLOAT_RTOL = 1e-4
 FLOAT_ATOL = 1e-6
@@ -209,7 +232,8 @@ def run_differential(seed: int, count: int = 120,
     kernel_legs = _kernel_legs_enabled()
     pipeline_legs = _pipeline_legs_enabled()
     stats = {"statements": 0, "oracle_checked": 0, "oracle_skipped": 0,
-             "engine_only": 0, "kernel_checked": 0, "pipeline_checked": 0}
+             "engine_only": 0, "kernel_checked": 0, "pipeline_checked": 0,
+             "exchange_checked": 0}
     for case, stmt in enumerate(statements):
         if only_case is not None and case != only_case:
             continue
@@ -218,7 +242,7 @@ def run_differential(seed: int, count: int = 120,
             print(f"[{seed}:{case}] {stmt.sql}")
         try:
             serial = _engine_result(session, stmt.sql, SERIAL_CONFIG)
-            legs = [("shards=4", SHARD_CONFIG)]
+            legs = [("shards=4", SHARD_CONFIG)] + EXCHANGE_CONFIGS
             if kernel_legs:
                 legs += [("kernels shards=1", KERNEL_CONFIG),
                          ("kernels shards=4", KERNEL_SHARD_CONFIG)]
@@ -233,6 +257,8 @@ def run_differential(seed: int, count: int = 120,
                     stats["kernel_checked"] += 1
                 elif "pipelines" in label:
                     stats["pipeline_checked"] += 1
+                elif "exchange" in label:
+                    stats["exchange_checked"] += 1
         except TdpError as exc:
             raise Divergence(seed, case, stmt,
                              f"engine rejected generated statement: {exc}")

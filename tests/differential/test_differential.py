@@ -13,6 +13,8 @@ the environment:
 * ``REPRO_COMPILE_PIPELINES`` — ``0`` skips the whole-pipeline codegen legs
   (shards 1/3/4 with ``compile_pipelines=True``); they also require the
   kernel legs to be on
+* ``REPRO_EXCHANGE`` — ``0`` turns the exchange rewrite off in the default
+  sharded legs (the explicit exchange-on/off legs always run)
 """
 
 import os
@@ -45,6 +47,9 @@ def test_differential_seed(seed):
     assert stats["oracle_checked"] > 0
     # Compiled-kernel legs (serial + sharded) run per statement unless the
     # CI matrix disabled them for this job.
+    # Exchange legs (on at shards=3, explicitly off at shards=4) run for
+    # every statement regardless of the REPRO_EXCHANGE matrix setting.
+    assert stats["exchange_checked"] == 2 * _count(), stats
     if os.environ.get("REPRO_COMPILE_EXPRS", "1") != "0":
         assert stats["kernel_checked"] == 2 * _count(), stats
         # Whole-pipeline codegen legs (shards 1/3/4) ride on the kernels.
